@@ -1,0 +1,74 @@
+"""Benchmark: regenerate Table 3 (SQ index prediction diagnostics).
+
+For every proxy workload this runs the indexed SQ without (``Fwd``) and with
+(``Fwd+Dly``) delay prediction and reports: load forwarding rate,
+mis-forwardings per 1000 loads for both configurations, the percentage of
+loads delayed, and the average delay, with the paper's numbers alongside.
+
+Assertions check the qualitative claims of Section 4.3:
+
+* forwarding rates track the per-benchmark profile (Table 3 column 1);
+* the raw predictor already mis-forwards rarely (a few per 1000 loads on
+  average);
+* adding delay prediction cuts the mis-forwarding rate by a large factor at
+  the cost of delaying a small fraction of loads;
+* the per-benchmark pathologies (mesa.texgen, eon, sixtrack) stand out in
+  the Fwd column and are suppressed in the Fwd+Dly column.
+"""
+
+from conftest import run_once
+
+from repro.harness.paper_data import TABLE3
+from repro.harness.table3 import run_table3
+from repro.workloads.suites import workload_names
+
+
+def test_table3_prediction_diagnostics(benchmark, bench_settings, bench_workloads):
+    names = bench_workloads or workload_names()
+    result = run_once(benchmark, run_table3, workloads=names, settings=bench_settings)
+    print()
+    print(result.render())
+
+    # --- per-benchmark shape -------------------------------------------------
+    for row in result.rows:
+        paper_fwd = TABLE3[row.name][0]
+        # Forwarding rate within a loose absolute band of the paper's value.
+        assert abs(row.forward_rate_pct - paper_fwd) <= max(6.0, 0.5 * paper_fwd), row.name
+        # Delay prediction never makes mis-forwarding dramatically worse.
+        assert row.mis_per_1000_fwd_dly <= row.mis_per_1000_fwd + 2.0, row.name
+
+    # --- aggregate shape (Section 4.3) ---------------------------------------
+    overall = result.suite_average("all")
+    assert 5.0 <= overall.forward_rate_pct <= 25.0        # paper: 12.9%
+    assert overall.mis_per_1000_fwd <= 25.0               # paper: 1.8
+    assert overall.mis_per_1000_fwd_dly <= 5.0            # paper: 0.3
+    assert overall.mis_per_1000_fwd_dly < overall.mis_per_1000_fwd
+    assert overall.percent_delayed <= 15.0                # paper: 2.3%
+
+    benchmark.extra_info.update({
+        "avg_forward_rate_pct": round(overall.forward_rate_pct, 2),
+        "avg_mis_per_1000_fwd": round(overall.mis_per_1000_fwd, 2),
+        "avg_mis_per_1000_fwd_dly": round(overall.mis_per_1000_fwd_dly, 2),
+        "avg_percent_delayed": round(overall.percent_delayed, 2),
+        "avg_delay_cycles": round(overall.avg_delay_cycles, 1),
+    })
+
+
+def test_suite_averages(benchmark, bench_settings):
+    """Section 4.3 headline: delay prediction helps the pathological programs
+    most (checked on a representative subset to keep this bench short)."""
+    subset = ["mesa.t", "eon.c", "sixtrack", "gzip", "adpcm.d", "swim"]
+    result = run_once(benchmark, run_table3, workloads=subset, settings=bench_settings)
+    print()
+    print(result.render())
+
+    pathological = result.row("mesa.t")
+    quiet = result.row("adpcm.d")
+    # mesa.texgen has one of the highest raw mis-forwarding rates and delay
+    # prediction reduces it by a large factor (paper: 12.3 -> 0.8).
+    assert pathological.mis_per_1000_fwd > 2.0
+    assert pathological.mis_per_1000_fwd_dly < 0.5 * pathological.mis_per_1000_fwd
+    # adpcm never forwards, never mis-forwards, and is never delayed.
+    assert quiet.forward_rate_pct < 1.0
+    assert quiet.mis_per_1000_fwd == 0.0
+    assert quiet.percent_delayed < 0.5

@@ -1,0 +1,47 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures.  Because a
+single regeneration already simulates dozens of (workload, configuration)
+pairs, every benchmark is run exactly once (``rounds=1``) — the timing
+reported by pytest-benchmark is the cost of regenerating the artifact, and
+the artifact itself is printed and attached to ``benchmark.extra_info``.
+
+Environment knobs:
+
+``REPRO_BENCH_INSTRUCTIONS``
+    Dynamic instructions per workload trace (default 8000).  The paper uses
+    10M-instruction samples; the default here keeps the full 47-workload
+    sweep to a few minutes while preserving the qualitative shape.  Increase
+    it for higher-fidelity runs.
+``REPRO_BENCH_WORKLOADS``
+    Comma-separated subset of workload names (default: all 47 for Table 3 /
+    Figure 4, the paper's nine for Figure 5).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentSettings
+
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
+
+_workloads_env = os.environ.get("REPRO_BENCH_WORKLOADS", "").strip()
+WORKLOAD_SUBSET = [w.strip() for w in _workloads_env.split(",") if w.strip()] or None
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """Experiment settings shared by all timing benchmarks."""
+    return ExperimentSettings(instructions=DEFAULT_INSTRUCTIONS, stats_warmup_fraction=0.25)
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Workload subset override (None means the experiment's default set)."""
+    return WORKLOAD_SUBSET
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

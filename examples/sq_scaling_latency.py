@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Store-queue scaling study (the paper's motivation, Table 2).
+
+Uses the CACTI-style analytical model to show how associative and indexed
+store-queue load latency scales with capacity and load-port count, compared
+against the L1 data-cache bank latency — the paper's argument for why
+associative search does not scale to large instruction windows.
+
+Run with::
+
+    python examples/sq_scaling_latency.py
+"""
+
+from repro.harness.table2 import run_table2
+from repro.timing.cacti import SQGeometry, associative_sq_access, dcache_bank_access, indexed_sq_access
+from repro.timing.sq_model import sq_energy_comparison
+
+
+def main() -> None:
+    result = run_table2()
+    print(result.render())
+
+    dcache = dcache_bank_access(32, load_ports=2)
+    print("\nScaling beyond the paper's table (2 load ports):")
+    print(f"{'entries':>8s} {'assoc ns':>9s} {'assoc cyc':>10s} {'index ns':>9s} "
+          f"{'index cyc':>10s} {'slower than D$?':>16s}")
+    for entries in (16, 32, 64, 128, 256, 512, 1024):
+        geometry = SQGeometry(entries=entries, load_ports=2)
+        assoc = associative_sq_access(geometry)
+        index = indexed_sq_access(geometry)
+        flag = "yes" if assoc.cycles > dcache.cycles else "no"
+        print(f"{entries:8d} {assoc.total_ns:9.2f} {assoc.cycles:10d} "
+              f"{index.total_ns:9.2f} {index.cycles:10d} {flag:>16s}")
+
+    print("\nPer-access energy (arbitrary units):")
+    for entries in (16, 64, 256):
+        comparison = sq_energy_comparison(entries, 2)
+        print(f"  {entries:3d} entries: associative {comparison.associative:6.1f}  "
+              f"indexed {comparison.indexed:6.1f}  "
+              f"(indexed saves {100 * comparison.indexed_savings:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

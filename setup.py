@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Project metadata lives in setup.cfg.  A classic setup.py/setup.cfg layout is
+used (instead of pyproject.toml) so that ``pip install -e .`` works on fully
+offline machines, where PEP 517 build isolation cannot download its build
+requirements.
+"""
+from setuptools import setup
+
+setup()

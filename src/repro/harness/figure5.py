@@ -1,0 +1,127 @@
+"""Figure 5: performance sensitivity of the indexed SQ.
+
+Three sweeps over nine benchmarks (three per suite), all measured as the
+``indexed-3-fwd+dly`` configuration's execution time relative to the ideal
+oracle-scheduled associative SQ:
+
+* **FSP/DDP capacity** — 512, 1K, 2K, 4K (default), 8K entries, varied in
+  conjunction (top graph).
+* **FSP associativity** — 1, 2 (default), 4, 8, 32 ways at 4K entries
+  (middle graph).
+* **DDP training ratio** — 0:1 (never delay, degenerates to the raw ``Fwd``
+  configuration), 1:1, 2:1, 4:1 (default), 8:1, 1:0 (never unlearn)
+  (bottom graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.predictors import PredictorSuiteConfig
+from repro.harness.paper_data import (
+    FIGURE5_ASSOCIATIVITIES,
+    FIGURE5_CAPACITIES,
+    FIGURE5_DDP_RATIOS,
+)
+from repro.harness.reporting import format_table
+from repro.harness.runner import (
+    BASELINE_CONFIG,
+    ExperimentSettings,
+    build_traces,
+    run_workload,
+)
+from repro.workloads.suites import sensitivity_workloads
+
+
+@dataclass
+class SweepSeries:
+    """One benchmark's series across one sweep dimension."""
+
+    name: str
+    points: Dict[str, float]   # sweep label -> relative execution time
+
+
+@dataclass
+class Figure5Result:
+    """All three sensitivity sweeps."""
+
+    capacity: List[SweepSeries]
+    associativity: List[SweepSeries]
+    ddp_ratio: List[SweepSeries]
+    settings: ExperimentSettings
+
+    @staticmethod
+    def _render_sweep(series: List[SweepSeries], title: str) -> str:
+        if not series:
+            return f"{title}: (no data)"
+        labels = list(series[0].points.keys())
+        headers = ["benchmark"] + labels
+        rows = [[s.name] + [s.points[label] for label in labels] for s in series]
+        return format_table(headers, rows, title=title)
+
+    def render(self) -> str:
+        return "\n\n".join([
+            self._render_sweep(self.capacity, "Figure 5 (top): FSP/DDP capacity sweep"),
+            self._render_sweep(self.associativity, "Figure 5 (middle): FSP associativity sweep"),
+            self._render_sweep(self.ddp_ratio, "Figure 5 (bottom): DDP training ratio sweep"),
+        ])
+
+
+def _relative_time(trace, predictors: Optional[PredictorSuiteConfig], config_name: str,
+                   settings: ExperimentSettings, baseline_cycles: int) -> float:
+    run = run_workload(trace, config_name, settings, predictors=predictors)
+    return run.result.stats.cycles / baseline_cycles
+
+
+def run_figure5(workloads: Optional[Sequence[str]] = None,
+                settings: Optional[ExperimentSettings] = None,
+                capacities: Sequence[int] = FIGURE5_CAPACITIES,
+                associativities: Sequence[int] = FIGURE5_ASSOCIATIVITIES,
+                ddp_ratios: Sequence[Tuple[int, int]] = FIGURE5_DDP_RATIOS) -> Figure5Result:
+    """Regenerate the three Figure 5 sweeps."""
+    settings = settings or ExperimentSettings()
+    names = list(workloads) if workloads is not None else sensitivity_workloads()
+    traces = build_traces(names, settings)
+    default = PredictorSuiteConfig()
+
+    baseline_cycles: Dict[str, int] = {}
+    for name in names:
+        baseline = run_workload(traces[name], BASELINE_CONFIG, settings).result
+        baseline_cycles[name] = baseline.stats.cycles
+
+    capacity_series: List[SweepSeries] = []
+    assoc_series: List[SweepSeries] = []
+    ratio_series: List[SweepSeries] = []
+
+    for name in names:
+        trace = traces[name]
+        base = baseline_cycles[name]
+
+        points = {}
+        for entries in capacities:
+            predictors = default.scaled_fsp_ddp(entries)
+            points[str(entries)] = _relative_time(trace, predictors, "indexed-3-fwd+dly",
+                                                  settings, base)
+        capacity_series.append(SweepSeries(name=name, points=points))
+
+        points = {}
+        for assoc in associativities:
+            predictors = default.with_fsp_assoc(assoc)
+            points[str(assoc)] = _relative_time(trace, predictors, "indexed-3-fwd+dly",
+                                                settings, base)
+        assoc_series.append(SweepSeries(name=name, points=points))
+
+        points = {}
+        for positive, negative in ddp_ratios:
+            label = f"{positive}:{negative}"
+            if positive == 0:
+                # 0:1 never trains delay, which degenerates to the raw Fwd config.
+                points[label] = _relative_time(trace, default, "indexed-3-fwd", settings, base)
+                continue
+            predictors = default.with_ddp_ratio(positive, max(negative, 0))
+            points[label] = _relative_time(trace, predictors, "indexed-3-fwd+dly", settings, base)
+        ratio_series.append(SweepSeries(name=name, points=points))
+
+    return Figure5Result(capacity=capacity_series, associativity=assoc_series,
+                         ddp_ratio=ratio_series, settings=settings)

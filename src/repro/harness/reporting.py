@@ -1,0 +1,41 @@
+"""Plain-text table rendering helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table.
+
+    Numbers are formatted with sensible defaults (three significant decimals
+    for floats); everything else uses ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(label: str, measured: float, paper: float, unit: str = "") -> str:
+    """One-line paper-vs-measured comparison."""
+    suffix = f" {unit}" if unit else ""
+    return f"{label}: measured {measured:.3f}{suffix}  (paper: {paper:.3f}{suffix})"

@@ -1,0 +1,134 @@
+"""Low-level experiment plumbing: policy factory, per-workload runs, means.
+
+The timing experiments (Table 3, Figures 4 and 5) all follow the same shape:
+build a workload trace once, simulate it under one or more store-queue
+configurations, and aggregate the per-run statistics.  This module provides
+the shared pieces; the per-experiment modules add only the configuration
+sweeps and report formats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.predictors import PredictorSuiteConfig
+from repro.isa.trace import DynamicTrace
+from repro.lsu.policies import (
+    AssociativeStoreSetsPolicy,
+    IndexedSQPolicy,
+    OracleAssociativePolicy,
+    SQPolicy,
+)
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import OutOfOrderCore, SimulationResult
+from repro.workloads.suites import DEFAULT_INSTRUCTIONS, build_workload
+
+#: The Figure 4 configuration names, in presentation order.  The ideal
+#: oracle-scheduled 3-cycle associative SQ is the normalisation baseline and
+#: is not itself a bar.
+FIGURE4_CONFIGS = (
+    "associative-3",
+    "associative-5-optimistic",
+    "associative-5-predictive",
+    "indexed-3-fwd",
+    "indexed-3-fwd+dly",
+)
+
+#: The normalisation baseline configuration name.
+BASELINE_CONFIG = "oracle-associative-3"
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every timing experiment.
+
+    ``stats_warmup_fraction`` plays the role of the paper's 8% cache/predictor
+    warm-up: the first fraction of each trace trains caches and predictors
+    but is excluded from the reported statistics (our traces are far shorter
+    than the paper's 10M-instruction samples, so proportionally more warm-up
+    is needed before predictor cold-start effects stop dominating).
+    """
+
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = 1
+    sq_size: int = 64
+    stats_warmup_fraction: float = 0.25
+    core: CoreConfig = field(default_factory=CoreConfig)
+
+
+def make_policy(name: str, sq_size: int = 64,
+                predictors: Optional[PredictorSuiteConfig] = None) -> SQPolicy:
+    """Construct the SQ policy for a named configuration.
+
+    Recognised names: ``oracle-associative-3``, ``associative-3``,
+    ``associative-5-optimistic``, ``associative-5-predictive``,
+    ``indexed-3-fwd``, ``indexed-3-fwd+dly``.
+    """
+    if name == BASELINE_CONFIG:
+        return OracleAssociativePolicy(sq_size=sq_size, sq_latency=3, predictors=predictors)
+    if name == "associative-3":
+        return AssociativeStoreSetsPolicy(sq_size=sq_size, sq_latency=3,
+                                          scheduling="predictive", predictors=predictors)
+    if name == "associative-5-optimistic":
+        return AssociativeStoreSetsPolicy(sq_size=sq_size, sq_latency=5,
+                                          scheduling="optimistic", predictors=predictors)
+    if name == "associative-5-predictive":
+        return AssociativeStoreSetsPolicy(sq_size=sq_size, sq_latency=5,
+                                          scheduling="predictive", predictors=predictors)
+    if name == "associative-original-storesets":
+        return AssociativeStoreSetsPolicy(sq_size=sq_size, sq_latency=3,
+                                          scheduling="predictive", formulation="original",
+                                          predictors=predictors)
+    if name == "indexed-3-fwd":
+        return IndexedSQPolicy(sq_size=sq_size, use_delay=False, predictors=predictors)
+    if name == "indexed-3-fwd+dly":
+        return IndexedSQPolicy(sq_size=sq_size, use_delay=True, predictors=predictors)
+    raise ValueError(f"unknown configuration {name!r}")
+
+
+@dataclass
+class RunRecord:
+    """One (workload, configuration) simulation."""
+
+    workload: str
+    config_name: str
+    result: SimulationResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.result.stats.ipc
+
+
+def run_workload(trace: DynamicTrace, config_name: str,
+                 settings: Optional[ExperimentSettings] = None,
+                 predictors: Optional[PredictorSuiteConfig] = None) -> RunRecord:
+    """Simulate one trace under one named configuration."""
+    settings = settings or ExperimentSettings()
+    policy = make_policy(config_name, sq_size=settings.sq_size, predictors=predictors)
+    core = OutOfOrderCore(settings.core, policy)
+    result = core.run(trace, stats_warmup_fraction=settings.stats_warmup_fraction)
+    return RunRecord(workload=trace.name, config_name=config_name, result=result)
+
+
+def build_traces(names: Sequence[str],
+                 settings: Optional[ExperimentSettings] = None) -> Dict[str, DynamicTrace]:
+    """Build (once) the traces for the named workloads."""
+    settings = settings or ExperimentSettings()
+    return {name: build_workload(name, instructions=settings.instructions, seed=settings.seed)
+            for name in names}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregation Figure 4 uses for relative times)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,28 @@
+"""Trace micro-op ISA.
+
+The paper evaluates on Alpha AXP binaries.  This reproduction replaces the
+Alpha front end with a compact *trace ISA*: workload generators emit dynamic
+streams of :class:`~repro.isa.uop.MicroOp` records that carry everything the
+timing model needs (PC, operation class, register operands, memory address /
+size / store value, branch outcome).  The out-of-order core in
+:mod:`repro.pipeline` consumes these streams directly.
+"""
+
+from repro.isa.registers import ArchRegisterFile, INT_REG_COUNT, FP_REG_COUNT, REG_ZERO
+from repro.isa.uop import MemAccess, MicroOp, OpClass
+from repro.isa.trace import DynamicTrace, TraceStats, TraceWriter, read_trace, write_trace
+
+__all__ = [
+    "ArchRegisterFile",
+    "DynamicTrace",
+    "FP_REG_COUNT",
+    "INT_REG_COUNT",
+    "MemAccess",
+    "MicroOp",
+    "OpClass",
+    "REG_ZERO",
+    "TraceStats",
+    "TraceWriter",
+    "read_trace",
+    "write_trace",
+]

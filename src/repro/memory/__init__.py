@@ -1,0 +1,24 @@
+"""Memory system substrate.
+
+Implements the byte-addressable memory image used for value-based load
+re-execution, a configurable set-associative cache model, a TLB model, and a
+two-level cache hierarchy with a flat-latency main memory, matching the
+configuration in Section 4.1 of the paper (64 KB 2-way 3-cycle L1, 1 MB 8-way
+10-cycle L2, 150-cycle memory, 128-entry 4-way TLBs).
+"""
+
+from repro.memory.image import MemoryImage
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+from repro.memory.tlb import TLB, TLBConfig
+from repro.memory.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+    "MemoryImage",
+    "TLB",
+    "TLBConfig",
+]

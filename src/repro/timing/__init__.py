@@ -1,0 +1,39 @@
+"""CACTI-style store-queue latency and energy model (Section 4.2, Table 2).
+
+The paper uses a modified CACTI 3.2 at 90 nm / 1.1 V / 3 GHz to compare the
+load latency and per-access energy of associative and indexed store queues.
+CACTI itself is a large C program; this package substitutes a component-based
+analytical model (decoder, wordline/bitline, CAM matchline, sense/output,
+port loading) whose coefficients are calibrated so the 64-entry, 2-load-port
+design points land near the paper's values and whose *trends* (associative
+latency growing super-linearly with entries and ports, indexed latency
+staying near-flat and below the data-cache bank latency) match Table 2.
+"""
+
+from repro.timing.cacti import (
+    CLOCK_GHZ,
+    AccessEnergy,
+    AccessTiming,
+    SQGeometry,
+    associative_sq_access,
+    dcache_bank_access,
+    indexed_sq_access,
+    ns_to_cycles,
+    tlb_access,
+)
+from repro.timing.sq_model import SQLatencyRow, sq_energy_comparison, sq_latency_table
+
+__all__ = [
+    "AccessEnergy",
+    "AccessTiming",
+    "CLOCK_GHZ",
+    "SQGeometry",
+    "SQLatencyRow",
+    "associative_sq_access",
+    "dcache_bank_access",
+    "indexed_sq_access",
+    "ns_to_cycles",
+    "sq_energy_comparison",
+    "sq_latency_table",
+    "tlb_access",
+]

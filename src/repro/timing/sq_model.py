@@ -1,0 +1,103 @@
+"""Table 2 generator: store-queue latency table and energy comparison.
+
+Produces the same rows Table 2 of the paper reports — associative and
+indexed SQ load latency for 16–256 entries and 1–2 load ports, plus
+data-cache-bank and TLB reference rows — and the Section 4.2 energy
+comparison (indexed ≈ 30% lower per access at 64 entries / 2 ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.timing.cacti import (
+    AccessTiming,
+    SQGeometry,
+    associative_sq_access,
+    associative_sq_energy,
+    dcache_bank_access,
+    indexed_sq_access,
+    indexed_sq_energy,
+    tlb_access,
+)
+
+#: SQ capacities swept by Table 2.
+TABLE2_ENTRIES: Tuple[int, ...] = (16, 32, 64, 128, 256)
+
+#: Load-port counts swept by Table 2.
+TABLE2_PORTS: Tuple[int, ...] = (1, 2)
+
+
+@dataclass(frozen=True)
+class SQLatencyRow:
+    """One row of the SQ portion of Table 2."""
+
+    entries: int
+    load_ports: int
+    associative_ns: float
+    associative_cycles: int
+    indexed_ns: float
+    indexed_cycles: int
+
+    @property
+    def speedup_ns(self) -> float:
+        """Associative / indexed latency ratio (> 1 favours the indexed SQ)."""
+        return self.associative_ns / self.indexed_ns
+
+
+def sq_latency_row(entries: int, load_ports: int) -> SQLatencyRow:
+    """Compute one design point."""
+    geometry = SQGeometry(entries=entries, load_ports=load_ports)
+    assoc = associative_sq_access(geometry)
+    index = indexed_sq_access(geometry)
+    return SQLatencyRow(
+        entries=entries,
+        load_ports=load_ports,
+        associative_ns=assoc.total_ns,
+        associative_cycles=assoc.cycles,
+        indexed_ns=index.total_ns,
+        indexed_cycles=index.cycles,
+    )
+
+
+def sq_latency_table(entries_list: Tuple[int, ...] = TABLE2_ENTRIES,
+                     ports_list: Tuple[int, ...] = TABLE2_PORTS) -> List[SQLatencyRow]:
+    """All SQ rows of Table 2 (every capacity x port-count combination)."""
+    return [sq_latency_row(entries, ports)
+            for ports in ports_list for entries in entries_list]
+
+
+def reference_rows() -> Dict[str, Dict[int, AccessTiming]]:
+    """The D$ bank and TLB reference rows of Table 2, keyed by port count."""
+    return {
+        "dcache_8kb": {ports: dcache_bank_access(8, load_ports=ports) for ports in TABLE2_PORTS},
+        "dcache_32kb": {ports: dcache_bank_access(32, load_ports=ports) for ports in TABLE2_PORTS},
+        "tlb_32": {ports: tlb_access(32, load_ports=ports) for ports in TABLE2_PORTS},
+    }
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Per-access energy of the two SQ designs at one design point."""
+
+    entries: int
+    load_ports: int
+    associative: float
+    indexed: float
+
+    @property
+    def indexed_savings(self) -> float:
+        """Fractional energy saving of the indexed design (0.30 == 30% lower)."""
+        return 1.0 - self.indexed / self.associative
+
+
+def sq_energy_comparison(entries: int = 64, load_ports: int = 2) -> EnergyComparison:
+    """Section 4.2 energy comparison (default: 64 entries, 2 load ports)."""
+    geometry = SQGeometry(entries=entries, load_ports=load_ports)
+    return EnergyComparison(
+        entries=entries,
+        load_ports=load_ports,
+        associative=associative_sq_energy(geometry).total,
+        indexed=indexed_sq_energy(geometry).total,
+    )

@@ -1,0 +1,39 @@
+"""Synthetic workload generators (SPEC2000 / MediaBench proxies).
+
+The paper evaluates on Alpha binaries of SPEC2000 and MediaBench.  Those
+binaries (and a functional Alpha front end) are out of scope for a pure
+Python reproduction, so this package substitutes *proxy workloads*: trace
+generators built from parameterised kernels that reproduce the store-load
+forwarding structure each benchmark exhibits — forwarding rate, forwarding
+distance, not-most-recent forwarding, static-store breadth (FSP pressure),
+pointer-chasing serialisation, floating-point mix, working-set size, and
+branch predictability.  Per-benchmark profiles are calibrated against
+Table 3 of the paper (see :mod:`repro.workloads.profiles`).
+
+The public entry points are :func:`~repro.workloads.suites.build_workload`
+(one trace by name) and :func:`~repro.workloads.suites.workload_names`.
+"""
+
+from repro.workloads.program import ProgramBuilder, Kernel
+from repro.workloads.profiles import WorkloadProfile, PROFILES, profiles_for_suite, get_profile
+from repro.workloads.suites import (
+    ALL_SUITES,
+    build_workload,
+    build_suite,
+    sensitivity_workloads,
+    workload_names,
+)
+
+__all__ = [
+    "ALL_SUITES",
+    "Kernel",
+    "PROFILES",
+    "ProgramBuilder",
+    "WorkloadProfile",
+    "build_suite",
+    "build_workload",
+    "get_profile",
+    "profiles_for_suite",
+    "sensitivity_workloads",
+    "workload_names",
+]

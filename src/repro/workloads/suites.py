@@ -1,0 +1,192 @@
+"""Suite composer: profiles -> dynamic traces.
+
+Given a :class:`~repro.workloads.profiles.WorkloadProfile`, the composer
+instantiates the kernel mix implied by the profile's knobs and interleaves
+kernel iterations until the requested dynamic instruction budget is reached.
+The mix is solved so that the fraction of loads that forward approximates
+the profile's ``forward_rate`` (calibrated to Table 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.trace import DynamicTrace
+from repro.workloads.kernels import (
+    AccumulateKernel,
+    BranchyKernel,
+    FPStencilKernel,
+    GlobalRMWKernel,
+    ManyStoreDepKernel,
+    NotMostRecentKernel,
+    PointerChaseKernel,
+    StackSpillKernel,
+    StreamCopyKernel,
+    WideNarrowKernel,
+)
+from repro.workloads.profiles import (
+    MEDIA, INT, FP,
+    PROFILES,
+    SENSITIVITY_BENCHMARKS,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.program import Kernel, ProgramBuilder
+
+#: Suites in presentation order (matches Table 3 / Figure 4).
+ALL_SUITES: Tuple[str, ...] = (MEDIA, INT, FP)
+
+#: Default dynamic-instruction budget per workload used by the benchmarks.
+DEFAULT_INSTRUCTIONS = 40_000
+
+
+@dataclass
+class _WeightedKernel:
+    kernel: Kernel
+    weight: float
+
+
+class WorkloadComposer:
+    """Builds the kernel mix for one profile and emits the trace."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 1) -> None:
+        self.profile = profile
+        self.builder = ProgramBuilder(profile.name, seed=seed)
+        self._rng = random.Random(seed ^ 0xC0FFEE)
+        self._forwarding_pool = self._build_forwarding_pool()
+        self._background_pool = self._build_background_pool()
+        self._branchy = BranchyKernel(self.builder, taken_prob=profile.branch_taken_prob)
+        self._forward_prob = self._solve_forwarding_probability()
+
+    # -- kernel pools -----------------------------------------------------------
+
+    def _build_forwarding_pool(self) -> List[_WeightedKernel]:
+        profile = self.profile
+        builder = self.builder
+        pool: List[_WeightedKernel] = []
+        if profile.forward_rate <= 0.0:
+            return pool
+
+        special = profile.not_most_recent + profile.fsp_pressure + profile.wide_narrow
+        base = max(0.0, 1.0 - special)
+        # Split the plain (FSP-friendly) share between stack spills and
+        # global read-modify-writes.
+        if base > 0.0:
+            pool.append(_WeightedKernel(
+                StackSpillKernel(builder, slots=profile.stack_slots), base * 0.6))
+            pool.append(_WeightedKernel(
+                GlobalRMWKernel(builder, n_globals=profile.forwarding_distance), base * 0.4))
+        if profile.not_most_recent > 0.0:
+            pool.append(_WeightedKernel(
+                NotMostRecentKernel(builder, lag=2), profile.not_most_recent))
+        if profile.fsp_pressure > 0.0:
+            pool.append(_WeightedKernel(
+                ManyStoreDepKernel(builder, n_stores=6), profile.fsp_pressure))
+        if profile.wide_narrow > 0.0:
+            pool.append(_WeightedKernel(WideNarrowKernel(builder), profile.wide_narrow))
+        return pool
+
+    def _build_background_pool(self) -> List[_WeightedKernel]:
+        profile = self.profile
+        builder = self.builder
+        working_set = profile.working_set_kb * 1024
+        pool: List[_WeightedKernel] = []
+        remaining = max(0.0, 1.0 - profile.pointer_chase - profile.fp_fraction)
+        pool.append(_WeightedKernel(
+            StreamCopyKernel(builder, working_set_bytes=working_set), remaining * 0.5))
+        pool.append(_WeightedKernel(
+            AccumulateKernel(builder, working_set_bytes=working_set // 2), remaining * 0.5))
+        if profile.fp_fraction > 0.0:
+            pool.append(_WeightedKernel(
+                FPStencilKernel(builder, working_set_bytes=working_set), profile.fp_fraction))
+        if profile.pointer_chase > 0.0:
+            nodes = max(64, working_set // 64)
+            pool.append(_WeightedKernel(
+                PointerChaseKernel(builder, nodes=nodes, chains=profile.pointer_chains),
+                profile.pointer_chase))
+        return pool
+
+    # -- mix solving ------------------------------------------------------------
+
+    @staticmethod
+    def _pool_load_rates(pool: Sequence[_WeightedKernel]) -> Tuple[float, float]:
+        """Weighted (loads/iteration, forwarding loads/iteration) of a pool."""
+        total_weight = sum(item.weight for item in pool)
+        if total_weight <= 0.0:
+            return 0.0, 0.0
+        loads = sum(item.weight * item.kernel.loads_per_iteration for item in pool) / total_weight
+        fwd = sum(item.weight * item.kernel.forwarding_loads_per_iteration
+                  for item in pool) / total_weight
+        return loads, fwd
+
+    def _solve_forwarding_probability(self) -> float:
+        """Probability of picking a forwarding-kernel iteration so the
+        load-weighted forwarding fraction matches the profile target."""
+        target = self.profile.forward_rate
+        if target <= 0.0 or not self._forwarding_pool:
+            return 0.0
+        fwd_loads, fwd_forwarding = self._pool_load_rates(self._forwarding_pool)
+        bg_loads, _ = self._pool_load_rates(self._background_pool)
+        if fwd_forwarding <= 0.0:
+            return 0.0
+        # target = q*Ff / (q*Lf + (1-q)*Ln)  =>  q = t*Ln / (Ff - t*Lf + t*Ln)
+        denom = fwd_forwarding - target * fwd_loads + target * bg_loads
+        if denom <= 0.0:
+            return 1.0
+        return min(1.0, max(0.0, target * bg_loads / denom))
+
+    # -- composition ------------------------------------------------------------
+
+    def _pick(self, pool: Sequence[_WeightedKernel]) -> Kernel:
+        weights = [item.weight for item in pool]
+        choice = self._rng.choices(pool, weights=weights, k=1)[0]
+        return choice.kernel
+
+    def compose(self, instructions: int) -> DynamicTrace:
+        """Emit kernel iterations until at least ``instructions`` micro-ops."""
+        if instructions <= 0:
+            raise ValueError("instruction budget must be positive")
+        profile = self.profile
+        while len(self.builder) < instructions:
+            if self._forwarding_pool and self._rng.random() < self._forward_prob:
+                self._pick(self._forwarding_pool).emit()
+            elif self._background_pool:
+                self._pick(self._background_pool).emit()
+            if profile.branchy > 0.0 and self._rng.random() < profile.branchy:
+                self._branchy.emit()
+        trace = self.builder.finish()
+        trace.uops = trace.uops[:instructions]
+        return trace
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def workload_names(suite: Optional[str] = None) -> List[str]:
+    """Names of all proxy workloads, optionally restricted to one suite."""
+    if suite is None:
+        return [profile.name for profile in PROFILES]
+    return [profile.name for profile in PROFILES if profile.suite == suite]
+
+
+def sensitivity_workloads() -> List[str]:
+    """The nine benchmarks used by the Figure 5 sensitivity study."""
+    return list(SENSITIVITY_BENCHMARKS)
+
+
+def build_workload(name: str, instructions: int = DEFAULT_INSTRUCTIONS,
+                   seed: int = 1) -> DynamicTrace:
+    """Build the proxy trace for one named benchmark."""
+    profile = get_profile(name)
+    composer = WorkloadComposer(profile, seed=seed)
+    return composer.compose(instructions)
+
+
+def build_suite(suite: str, instructions: int = DEFAULT_INSTRUCTIONS,
+                seed: int = 1) -> Dict[str, DynamicTrace]:
+    """Build every workload in a suite; returns name -> trace."""
+    return {name: build_workload(name, instructions=instructions, seed=seed)
+            for name in workload_names(suite)}

@@ -1,0 +1,146 @@
+"""Unit tests for harness components (reporting, paper reference data) and
+small ablations of design choices called out in DESIGN.md."""
+
+import pytest
+
+from repro.core.predictors import (
+    DDPConfig,
+    FSPConfig,
+    PredictorSuiteConfig,
+    SATConfig,
+    SVWConfig,
+)
+from repro.harness import paper_data
+from repro.harness.reporting import format_comparison, format_table
+from repro.harness.runner import make_policy
+from repro.lsu.policies import AssociativeStoreSetsPolicy, IndexedSQPolicy
+from repro.workloads.profiles import PROFILES
+from repro.workloads.suites import build_workload
+from repro import simulate
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["longer", 7]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "1.235" in text          # floats rendered with three decimals
+        assert "longer" in text
+
+    def test_format_table_without_title(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[0].startswith("x")
+
+    def test_format_comparison(self):
+        line = format_comparison("metric", 1.234, 1.2, unit="ns")
+        assert "1.234 ns" in line and "paper" in line
+
+
+class TestPaperData:
+    def test_table3_covers_all_workloads(self):
+        assert set(paper_data.TABLE3) == {p.name for p in PROFILES}
+
+    def test_table3_row_shapes(self):
+        for name, row in paper_data.TABLE3.items():
+            assert len(row) == 5
+            fwd, mis_fwd, mis_dly, delayed, avg_delay = row
+            assert 0.0 <= fwd <= 100.0
+            assert mis_dly <= mis_fwd + 0.5, name    # delay never makes it much worse
+            assert avg_delay >= 0.0
+
+    def test_table2_covers_full_sweep(self):
+        assert set(paper_data.TABLE2_SQ) == {(e, p) for e in (16, 32, 64, 128, 256)
+                                             for p in (1, 2)}
+
+    def test_table2_paper_trends(self):
+        for (entries, ports), (assoc_ns, _, idx_ns, _) in paper_data.TABLE2_SQ.items():
+            assert idx_ns < assoc_ns
+
+    def test_figure4_gmeans_ordering(self):
+        for suite, values in paper_data.FIGURE4_GMEANS.items():
+            assert values["indexed-3-fwd+dly"] < values["indexed-3-fwd"]
+            assert values["associative-3"] <= values["indexed-3-fwd+dly"]
+
+    def test_headline_consistency(self):
+        headline = paper_data.HEADLINE
+        assert headline["mis_forwardings_per_1000_fwd_dly"] < headline["mis_forwardings_per_1000_fwd"]
+        assert headline["slowdown_vs_realistic_pct"] < headline["slowdown_vs_ideal_pct"]
+
+    def test_figure5_sweep_points(self):
+        assert 4096 in paper_data.FIGURE5_CAPACITIES
+        assert 2 in paper_data.FIGURE5_ASSOCIATIVITIES
+        assert (4, 1) in paper_data.FIGURE5_DDP_RATIOS
+
+
+class TestPolicyFactory:
+    def test_all_named_configs_construct(self):
+        for name in ("oracle-associative-3", "associative-3", "associative-5-optimistic",
+                     "associative-5-predictive", "associative-original-storesets",
+                     "indexed-3-fwd", "indexed-3-fwd+dly"):
+            policy = make_policy(name, sq_size=32)
+            assert policy.sq_size == 32
+
+    def test_original_store_sets_policy(self):
+        policy = make_policy("associative-original-storesets")
+        assert isinstance(policy, AssociativeStoreSetsPolicy)
+        assert policy.formulation == "original"
+
+    def test_custom_predictor_config_propagates(self):
+        predictors = PredictorSuiteConfig(fsp=FSPConfig(entries=512, assoc=4))
+        policy = make_policy("indexed-3-fwd+dly", predictors=predictors)
+        assert isinstance(policy, IndexedSQPolicy)
+        assert policy.fsp.config.entries == 512
+        assert policy.fsp.config.assoc == 4
+
+
+class TestDesignAblations:
+    """Small versions of the ablations listed in DESIGN.md section 6."""
+
+    def _predictors(self, sat_repair="log"):
+        return PredictorSuiteConfig(
+            fsp=FSPConfig(entries=256, assoc=2),
+            sat=SATConfig(entries=128, repair=sat_repair),
+            ddp=DDPConfig(entries=256, assoc=2),
+            svw=SVWConfig(ssbf_entries=1024, spct_entries=1024),
+        )
+
+    def test_sat_repair_is_performance_only(self):
+        """Disabling SAT repair must not change architectural results; it can
+        only change prediction accuracy (the paper's 'repair only for
+        performance, not correctness')."""
+        trace = build_workload("mesa.t", instructions=2500)
+        with_repair = simulate(trace, IndexedSQPolicy(predictors=self._predictors("log")))
+        without_repair = simulate(trace, IndexedSQPolicy(predictors=self._predictors("none")))
+        assert with_repair.stats.committed == without_repair.stats.committed == 2500
+
+    def test_fsp_associativity_bounds_dependences_per_load(self):
+        """Associativity = number of representable store dependences per load
+        (the paper's stated Store Sets difference)."""
+        one_way = IndexedSQPolicy(predictors=PredictorSuiteConfig(
+            fsp=FSPConfig(entries=256, assoc=1)))
+        four_way = IndexedSQPolicy(predictors=PredictorSuiteConfig(
+            fsp=FSPConfig(entries=256, assoc=4)))
+        for policy in (one_way, four_way):
+            for i in range(6):
+                policy.fsp.insert(0x400, 0x500 + 4 * i)
+        assert len(one_way.fsp.lookup(0x400)) == 1
+        assert len(four_way.fsp.lookup(0x400)) == 4
+
+    def test_distance_based_delay_vs_sat_based_delay(self):
+        """The paper argues for distances (not the SAT) to compute delays:
+        the SAT can only name the most recent instance of a store, while a
+        distance can name any instance.  Check the DDP's delay SSN points
+        further back than the SAT's most-recent-instance SSN for a
+        not-most-recent load."""
+        policy = IndexedSQPolicy(predictors=self._predictors())
+        # Two instances of the same static store, SSNs 10 and 12.
+        policy.store_renamed(0x500, 10)
+        policy.store_renamed(0x500, 12)
+        policy.fsp.insert(0x400, 0x500)
+        for _ in range(2):
+            policy.ddp.train_wrong_prediction(0x400, 3)
+        prediction = policy.predict_load(0x400, ssn_ren=12, ssn_cmt=2)
+        assert prediction.fwd_ssn == 12            # SAT: most recent instance only
+        assert prediction.dly_ssn == 9             # DDP: distance reaches older stores
+        assert prediction.dly_ssn < prediction.fwd_ssn

@@ -1,0 +1,260 @@
+"""Unit tests for the memory substrate: image, caches, TLB, hierarchy."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig, DEFAULT_L1_CONFIG, DEFAULT_L2_CONFIG
+from repro.memory.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+from repro.memory.image import MemoryImage
+from repro.memory.tlb import TLB, TLBConfig
+
+
+class TestMemoryImage:
+    def test_write_read_roundtrip(self):
+        image = MemoryImage()
+        image.write(0x1000, 8, 0x1122334455667788)
+        assert image.read(0x1000, 8) == 0x1122334455667788
+
+    def test_little_endian_byte_order(self):
+        image = MemoryImage()
+        image.write(0x1000, 4, 0xAABBCCDD)
+        assert image.read_byte(0x1000) == 0xDD
+        assert image.read_byte(0x1003) == 0xAA
+
+    def test_partial_read_of_wide_write(self):
+        image = MemoryImage()
+        image.write(0x1000, 8, 0x1122334455667788)
+        assert image.read(0x1000, 4) == 0x55667788
+        assert image.read(0x1004, 4) == 0x11223344
+
+    def test_overlapping_writes_latest_wins(self):
+        image = MemoryImage()
+        image.write(0x1000, 8, 0)
+        image.write(0x1004, 2, 0xBEEF)
+        assert image.read(0x1004, 2) == 0xBEEF
+        assert image.read(0x1000, 4) == 0
+
+    def test_unwritten_bytes_deterministic(self):
+        a = MemoryImage()
+        b = MemoryImage()
+        assert a.read(0x5000, 8) == b.read(0x5000, 8)
+
+    def test_unwritten_bytes_differ_across_addresses(self):
+        image = MemoryImage()
+        values = {image.read(0x1000 + 8 * i, 8) for i in range(16)}
+        assert len(values) > 1
+
+    def test_is_written(self):
+        image = MemoryImage()
+        assert not image.is_written(0x1000)
+        image.write(0x1000, 1, 0x7)
+        assert image.is_written(0x1000)
+        assert not image.is_written(0x1001)
+
+    def test_written_byte_count(self):
+        image = MemoryImage()
+        image.write(0x1000, 8, 0)
+        assert image.written_byte_count() == 8
+
+    def test_copy_is_independent(self):
+        image = MemoryImage()
+        image.write(0x1000, 1, 1)
+        clone = image.copy()
+        clone.write(0x1000, 1, 2)
+        assert image.read(0x1000, 1) == 1
+        assert clone.read(0x1000, 1) == 2
+
+    def test_clear(self):
+        image = MemoryImage()
+        image.write(0x1000, 1, 1)
+        image.clear()
+        assert not image.is_written(0x1000)
+
+    def test_invalid_sizes_rejected(self):
+        image = MemoryImage()
+        with pytest.raises(ValueError):
+            image.read(0x1000, 0)
+        with pytest.raises(ValueError):
+            image.write(0x1000, 0, 1)
+        with pytest.raises(ValueError):
+            image.write(0x1000, 1, -1)
+
+
+class TestCacheConfig:
+    def test_default_configs_valid(self):
+        assert DEFAULT_L1_CONFIG.n_sets == 64 * 1024 // (2 * 64)
+        assert DEFAULT_L2_CONFIG.n_sets == 1024 * 1024 // (8 * 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=3 * 1024, assoc=2, line_bytes=64, latency=1)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1000, assoc=3, line_bytes=64, latency=1)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1024, assoc=1, line_bytes=64, latency=0)
+
+
+class TestCache:
+    def _tiny(self) -> Cache:
+        # 4 sets, 2 ways, 64-byte lines.
+        return Cache(CacheConfig(name="tiny", size_bytes=512, assoc=2, line_bytes=64, latency=1))
+
+    def test_first_access_misses_then_hits(self):
+        cache = self._tiny()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_different_byte_hits(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        assert cache.access(0x103F) is True
+
+    def test_different_line_misses(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        assert cache.access(0x1040) is False
+
+    def test_lru_eviction(self):
+        cache = self._tiny()
+        # Three lines mapping to the same set (stride = n_sets * line = 256).
+        a, b, c = 0x0, 0x100, 0x200
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)          # evicts a
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_lru_updated_on_hit(self):
+        cache = self._tiny()
+        a, b, c = 0x0, 0x100, 0x200
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # refresh a; b becomes LRU
+        cache.access(c)          # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_lookup_does_not_modify(self):
+        cache = self._tiny()
+        assert cache.lookup(0x1000) is False
+        assert cache.access(0x1000) is False   # still a miss: lookup didn't fill
+
+    def test_touch_line_does_not_count(self):
+        cache = self._tiny()
+        cache.touch_line(0x1000)
+        assert cache.stats.accesses == 0
+        assert cache.access(0x1000) is True
+
+    def test_stats(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_flush_invalidates_but_keeps_stats(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        cache.flush()
+        assert cache.access(0x1000) is False
+        assert cache.stats.accesses == 2
+
+    def test_reset_stats(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(TLBConfig(entries=4, assoc=2, miss_penalty=30))
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1800) == 0        # same 4KB page
+
+    def test_different_page_misses(self):
+        tlb = TLB(TLBConfig(entries=4, assoc=2, miss_penalty=30))
+        tlb.access(0x1000)
+        assert tlb.access(0x2000) == 30
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=5, assoc=2)
+        with pytest.raises(ValueError):
+            TLBConfig(page_bytes=3000)
+
+    def test_flush(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert tlb.access(0x1000) > 0
+
+
+class TestHierarchy:
+    def _small(self) -> MemoryHierarchy:
+        config = MemoryHierarchyConfig(
+            l1=CacheConfig(name="L1", size_bytes=1024, assoc=2, line_bytes=64, latency=3),
+            l2=CacheConfig(name="L2", size_bytes=8192, assoc=4, line_bytes=64, latency=10),
+            memory_latency=100,
+            model_tlb=False,
+        )
+        return MemoryHierarchy(config)
+
+    def test_l1_hit_latency(self):
+        hierarchy = self._small()
+        hierarchy.warm(0x1000)
+        assert hierarchy.load_latency(0x1000) == 3
+
+    def test_cold_miss_goes_to_memory(self):
+        hierarchy = self._small()
+        assert hierarchy.load_latency(0x9000) == 3 + 10 + 100
+
+    def test_l2_hit_latency(self):
+        hierarchy = self._small()
+        hierarchy.load_latency(0x9000)                  # install in L1 and L2
+        # Evict from tiny L1 by touching conflicting lines, keep in L2.
+        for i in range(1, 4):
+            hierarchy.l1.access(0x9000 + i * 512)
+        assert hierarchy.load_latency(0x9000) == 3 + 10
+
+    def test_tlb_miss_adds_latency(self):
+        hierarchy = MemoryHierarchy(MemoryHierarchyConfig(model_tlb=True))
+        first = hierarchy.load_latency(0x4000)
+        second = hierarchy.load_latency(0x4008)
+        assert first > second                           # page walk charged only once
+
+    def test_store_touch_warms_line(self):
+        hierarchy = self._small()
+        hierarchy.store_touch(0x5000)
+        assert hierarchy.load_latency(0x5000) == 3
+
+    def test_stats_accumulate(self):
+        hierarchy = self._small()
+        hierarchy.load_latency(0x1000)
+        hierarchy.store_touch(0x2000)
+        assert hierarchy.stats.load_accesses == 1
+        assert hierarchy.stats.store_accesses == 1
+        assert hierarchy.stats.l1_misses == 2
+
+    def test_reset_stats(self):
+        hierarchy = self._small()
+        hierarchy.load_latency(0x1000)
+        hierarchy.reset_stats()
+        assert hierarchy.stats.load_accesses == 0
+
+    def test_l1_latency_property(self):
+        assert self._small().l1_latency == 3
+
+    def test_default_config_matches_paper(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.config.l1.latency == 3
+        assert hierarchy.config.l2.latency == 10
+        assert hierarchy.config.memory_latency == 150
+        assert hierarchy.config.l1.size_bytes == 64 * 1024
+        assert hierarchy.config.l2.size_bytes == 1024 * 1024
