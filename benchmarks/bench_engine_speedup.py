@@ -1,0 +1,107 @@
+"""Benchmark: serial vs parallel vs cached execution of the Figure 4 sweep.
+
+Runs the same Figure 4 sweep three ways through the experiment engine —
+serial (one in-process worker), parallel (a ``multiprocessing`` fan-out),
+and twice against an on-disk result cache (cold, then fully warm) — and
+verifies that all of them produce *identical* statistics before reporting
+wall-clock ratios.  The measurements land in ``BENCH_engine.json`` at the
+repo root so the engine's performance trajectory is machine-readable.
+
+The parallel assertion scales with the hardware: a >= 2x speedup is required
+only when at least four CPUs are actually available (the paper-sweep target
+box); on smaller machines the run still checks bit-identity and records the
+measured ratio.  The warm-cache re-run must always be a large win — it
+simulates nothing.
+"""
+
+import os
+import time
+
+from conftest import DEFAULT_INSTRUCTIONS, write_bench_json
+
+from repro.exec import ExperimentEngine, ResultCache
+from repro.harness.figure4 import run_figure4
+from repro.harness.runner import ExperimentSettings
+
+#: A cross-suite subset (media / int / fp, forwarding-heavy and quiet,
+#: cache-friendly and memory-bound) big enough to amortise pool start-up.
+SPEEDUP_WORKLOADS = ("gzip", "mesa.m", "swim", "vortex", "mcf", "eon.c")
+
+
+def _signature(result):
+    """Everything that must be identical across execution strategies."""
+    return [(row.name, row.baseline_cycles,
+             tuple(sorted(row.relative_time.items()))) for row in result.rows]
+
+
+def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKLOADS,
+                           parallel_jobs=None):
+    """Measure serial / parallel / cached wall times for one Figure 4 sweep.
+
+    Returns a dict of measurements (also asserting bit-identity of the three
+    execution strategies); reused by ``run_all.py``.
+    """
+    instructions = instructions or DEFAULT_INSTRUCTIONS
+    cpus = os.cpu_count() or 1
+    if parallel_jobs is None:
+        parallel_jobs = max(4, cpus) if cpus >= 4 else max(2, cpus)
+    settings = ExperimentSettings(instructions=instructions, stats_warmup_fraction=0.25)
+    names = list(workloads)
+
+    serial_engine = ExperimentEngine(jobs=1, cache=False)
+    start = time.perf_counter()
+    serial = run_figure4(workloads=names, settings=settings, engine=serial_engine)
+    serial_s = time.perf_counter() - start
+
+    parallel_engine = ExperimentEngine(jobs=parallel_jobs, cache=False)
+    start = time.perf_counter()
+    parallel = run_figure4(workloads=names, settings=settings, engine=parallel_engine)
+    parallel_s = time.perf_counter() - start
+
+    cached_engine = ExperimentEngine(jobs=1, cache=ResultCache(cache_dir))
+    cold = run_figure4(workloads=names, settings=settings, engine=cached_engine)
+    cold_stats = dict(cached_engine.last_run_stats)
+    start = time.perf_counter()
+    warm = run_figure4(workloads=names, settings=settings, engine=cached_engine)
+    warm_s = time.perf_counter() - start
+    warm_stats = dict(cached_engine.last_run_stats)
+
+    reference = _signature(serial)
+    assert _signature(parallel) == reference, "parallel run diverged from serial"
+    assert _signature(cold) == reference, "cache-populating run diverged from serial"
+    assert _signature(warm) == reference, "cache-hit run diverged from serial"
+    assert warm_stats["cache_hits"] == warm_stats["total"], warm_stats
+
+    return {
+        "workloads": names,
+        "cpus": cpus,
+        "parallel_jobs": parallel_jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "warm_cache_s": round(warm_s, 4),
+        "warm_cache_speedup": round(serial_s / warm_s, 1) if warm_s else 0.0,
+        "cold_cache_stats": cold_stats,
+        "warm_cache_stats": warm_stats,
+        "gmean_indexed_fwd_dly": round(serial.gmean("indexed-3-fwd+dly"), 4),
+    }
+
+
+def test_engine_speedup(tmp_path):
+    data = measure_engine_speedup(cache_dir=tmp_path / "cache")
+    path = write_bench_json("engine", {"wall_time_s": data["serial_s"], **data})
+    print(f"\nengine speedup: serial {data['serial_s']}s, "
+          f"parallel x{data['parallel_speedup']} ({data['parallel_jobs']} workers, "
+          f"{data['cpus']} CPUs), warm cache x{data['warm_cache_speedup']} "
+          f"-> {path.name}")
+
+    # The warm cache simulates nothing; it must be a large win everywhere.
+    assert data["warm_cache_speedup"] >= 5.0, data
+
+    # The parallel bar scales with the hardware the run actually has.
+    if data["cpus"] >= 4:
+        assert data["parallel_speedup"] >= 2.0, data
+    elif data["cpus"] >= 2:
+        assert data["parallel_speedup"] >= 1.1, data
+    # Single-CPU boxes: fan-out cannot beat serial; bit-identity (asserted
+    # inside the measurement) is the contract under test.

@@ -22,9 +22,10 @@ from repro.harness.paper_data import FIGURE4_GMEANS
 from repro.workloads.suites import workload_names
 
 
-def test_figure4_relative_performance(benchmark, bench_settings, bench_workloads):
+def test_figure4_relative_performance(benchmark, bench_settings, bench_workloads, bench_engine):
     names = bench_workloads or workload_names()
-    result = run_once(benchmark, run_figure4, workloads=names, settings=bench_settings)
+    result = run_once(benchmark, run_figure4, workloads=names, settings=bench_settings,
+                      engine=bench_engine)
     print()
     print(result.render())
 
@@ -55,14 +56,16 @@ def test_figure4_relative_performance(benchmark, bench_settings, bench_workloads
 
     benchmark.extra_info.update({f"gmean_{k}": round(v, 4) for k, v in gmeans.items()})
     benchmark.extra_info["indexed_vs_assoc5"] = comparison
+    benchmark.extra_info["engine"] = dict(bench_engine.last_run_stats)
 
 
-def test_figure4_pathological_benchmarks(benchmark, bench_settings):
+def test_figure4_pathological_benchmarks(benchmark, bench_settings, bench_engine):
     """The per-benchmark stories the paper tells: not-most-recent forwarding
     (mesa.texgen) and FSP conflicts (eon) hurt the raw indexed SQ and are
     largely repaired by delay prediction."""
     subset = ["mesa.t", "eon.c", "vortex", "adpcm.d"]
-    result = run_once(benchmark, run_figure4, workloads=subset, settings=bench_settings)
+    result = run_once(benchmark, run_figure4, workloads=subset, settings=bench_settings,
+                      engine=bench_engine)
     print()
     print(result.render())
 

@@ -27,10 +27,10 @@ def _gmean_at(series_list, label):
     return geometric_mean(series.points[label] for series in series_list)
 
 
-def test_fsp_ddp_capacity(benchmark, bench_settings, bench_workloads):
+def test_fsp_ddp_capacity(benchmark, bench_settings, bench_workloads, bench_engine):
     names = bench_workloads or sensitivity_workloads()
     result = run_once(benchmark, run_figure5, workloads=names, settings=bench_settings,
-                      associativities=(), ddp_ratios=())
+                      associativities=(), ddp_ratios=(), engine=bench_engine)
     print()
     print(result.render())
 
@@ -51,10 +51,10 @@ def test_fsp_ddp_capacity(benchmark, bench_settings, bench_workloads):
                                  "gmean_8192": round(large, 4)})
 
 
-def test_fsp_associativity(benchmark, bench_settings, bench_workloads):
+def test_fsp_associativity(benchmark, bench_settings, bench_workloads, bench_engine):
     names = bench_workloads or sensitivity_workloads()
     result = run_once(benchmark, run_figure5, workloads=names, settings=bench_settings,
-                      capacities=(), ddp_ratios=())
+                      capacities=(), ddp_ratios=(), engine=bench_engine)
     print()
     print(result.render())
 
@@ -72,10 +72,10 @@ def test_fsp_associativity(benchmark, bench_settings, bench_workloads):
                                  "gmean_assoc32": round(wide, 4)})
 
 
-def test_ddp_training_ratio(benchmark, bench_settings, bench_workloads):
+def test_ddp_training_ratio(benchmark, bench_settings, bench_workloads, bench_engine):
     names = bench_workloads or sensitivity_workloads()
     result = run_once(benchmark, run_figure5, workloads=names, settings=bench_settings,
-                      capacities=(), associativities=())
+                      capacities=(), associativities=(), engine=bench_engine)
     print()
     print(result.render())
 

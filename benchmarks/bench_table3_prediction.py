@@ -23,9 +23,10 @@ from repro.harness.table3 import run_table3
 from repro.workloads.suites import workload_names
 
 
-def test_table3_prediction_diagnostics(benchmark, bench_settings, bench_workloads):
+def test_table3_prediction_diagnostics(benchmark, bench_settings, bench_workloads, bench_engine):
     names = bench_workloads or workload_names()
-    result = run_once(benchmark, run_table3, workloads=names, settings=bench_settings)
+    result = run_once(benchmark, run_table3, workloads=names, settings=bench_settings,
+                      engine=bench_engine)
     print()
     print(result.render())
 
@@ -54,11 +55,12 @@ def test_table3_prediction_diagnostics(benchmark, bench_settings, bench_workload
     })
 
 
-def test_suite_averages(benchmark, bench_settings):
+def test_suite_averages(benchmark, bench_settings, bench_engine):
     """Section 4.3 headline: delay prediction helps the pathological programs
     most (checked on a representative subset to keep this bench short)."""
     subset = ["mesa.t", "eon.c", "sixtrack", "gzip", "adpcm.d", "swim"]
-    result = run_once(benchmark, run_table3, workloads=subset, settings=bench_settings)
+    result = run_once(benchmark, run_table3, workloads=subset, settings=bench_settings,
+                      engine=bench_engine)
     print()
     print(result.render())
 

@@ -1,0 +1,47 @@
+"""Execution subsystem: parallel experiment engine + result caching.
+
+This package is the performance substrate under every timing experiment:
+
+* :class:`~repro.exec.jobs.JobSpec` — one ``(workload, configuration)``
+  simulation described by value (specs travel to workers; traces do not).
+* :class:`~repro.exec.engine.ExperimentEngine` — runs spec lists with an
+  on-disk result cache and a ``multiprocessing`` fan-out.  Serial, parallel,
+  and cached runs are bit-identical.
+* :class:`~repro.exec.cache.ResultCache` — content-addressed memoization
+  keyed by trace fingerprint, configuration, settings, and simulator source
+  fingerprints.
+
+Environment knobs: ``REPRO_JOBS`` (worker count; <= 0 means all CPUs),
+``REPRO_CACHE`` (``0`` disables caching), ``REPRO_CACHE_DIR`` (cache
+location, default ``.repro-cache/``; delete it at any time to reset).
+"""
+
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    generic_key,
+    job_key,
+)
+from repro.exec.engine import ExperimentEngine, resolve_jobs
+from repro.exec.fingerprint import (
+    simulator_fingerprint,
+    timing_fingerprint,
+    workload_fingerprint,
+)
+from repro.exec.jobs import JobSpec, run_job
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentEngine",
+    "JobSpec",
+    "ResultCache",
+    "generic_key",
+    "job_key",
+    "resolve_jobs",
+    "run_job",
+    "simulator_fingerprint",
+    "timing_fingerprint",
+    "workload_fingerprint",
+]

@@ -1,0 +1,138 @@
+"""Content-addressed on-disk memoization of simulation results.
+
+Each cache entry is one pickled value stored under
+``<cache dir>/<sha256 key>.pkl``.  Keys are derived from everything that can
+change a result:
+
+* the trace identity ``(workload, instructions, seed)`` plus the
+  workload-generator source fingerprint (together: a trace fingerprint),
+* the configuration name and predictor overrides,
+* the semantic fields of :class:`~repro.harness.runner.ExperimentSettings`
+  (the execution-only ``jobs`` knob is excluded), and
+* the simulator source fingerprint.
+
+The cache directory defaults to ``.repro-cache/`` in the current working
+directory and can be moved with the ``REPRO_CACHE_DIR`` environment
+variable.  Clearing it is always safe (``ResultCache.clear()`` or simply
+``rm -rf .repro-cache/``); entries are re-created on demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.exec.fingerprint import simulator_fingerprint, workload_fingerprint
+
+#: Bumped when the pickled payload layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Settings fields that steer *execution*, not simulation semantics.
+_EXECUTION_ONLY_FIELDS = ("jobs",)
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON-able canonical form of a (possibly nested) config dataclass."""
+    if obj is None:
+        return None
+    if dataclasses.is_dataclass(obj):
+        data = dataclasses.asdict(obj)
+        for name in _EXECUTION_ONLY_FIELDS:
+            data.pop(name, None)
+        return data
+    return obj
+
+
+def job_key(spec: "JobSpec") -> str:  # noqa: F821 - typing only
+    """Content-addressed cache key for one :class:`~repro.exec.jobs.JobSpec`."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "workload": spec.workload,
+        "config": spec.config_name,
+        "settings": _canonical(spec.settings),
+        "predictors": _canonical(spec.predictors),
+        "trace_sources": workload_fingerprint(),
+        "simulator_sources": simulator_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def generic_key(tag: str, payload: Any) -> str:
+    """Cache key for non-simulation artifacts (e.g. the Table 2 model)."""
+    blob = json.dumps({"schema": CACHE_SCHEMA_VERSION, "tag": tag,
+                       "payload": _canonical(payload)},
+                      sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry on-disk cache with atomic writes."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = Path(directory
+                              or os.environ.get("REPRO_CACHE_DIR")
+                              or DEFAULT_CACHE_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key``, or ``None`` on any miss.
+
+        Unreadable or corrupt entries (interrupted writes, version skew in
+        pickled classes) are treated as misses, never as errors.
+        """
+        try:
+            blob = self._path(key).read_bytes()
+            return pickle.loads(blob)
+        except Exception:
+            # pickle.loads can raise nearly anything on a truncated or
+            # bit-rotted stream (ValueError, KeyError, TypeError, ...);
+            # a damaged entry must never take a sweep down.
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic rename; last writer wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _entries(self) -> Iterable[Path]:
+        try:
+            return list(self.directory.glob("*.pkl"))
+        except OSError:
+            return []
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

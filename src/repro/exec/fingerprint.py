@@ -1,0 +1,77 @@
+"""Source-level fingerprints for content-addressed result caching.
+
+A cached :class:`~repro.pipeline.core.SimulationResult` is only valid while
+two things are unchanged: the code that *generates* the trace (workload
+composer, kernels, micro-op model) and the code that *simulates* it (core,
+LSU, memory hierarchy, predictors).  Traces themselves are deterministic
+functions of ``(name, instructions, seed)`` given the generator sources, so
+hashing the sources is equivalent to hashing the trace content — and it
+avoids materialising a trace just to decide whether a sweep cell is a cache
+hit.
+
+Fingerprints are computed once per process and cover every ``*.py`` file in
+the relevant sub-packages of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from functools import lru_cache
+from typing import Sequence
+
+import repro
+
+#: Sub-packages (or individual modules) whose sources determine simulation
+#: behaviour.  ``harness/runner.py`` belongs here because it maps
+#: configuration *names* to policy parameters (``make_policy``) and drives
+#: the per-job run (``run_workload``); the rest of the harness only
+#: orchestrates jobs and formats reports, which cannot change a result.
+SIMULATOR_SUBPACKAGES: Sequence[str] = (
+    "pipeline", "lsu", "memory", "core", "frontend", "isa",
+    "harness/runner.py")
+
+#: Sub-packages whose sources determine trace content.
+WORKLOAD_SUBPACKAGES: Sequence[str] = ("workloads", "isa")
+
+#: Sub-packages behind the analytical timing model (Table 2).
+TIMING_SUBPACKAGES: Sequence[str] = ("timing",)
+
+
+def _hash_tree(subpackages: Sequence[str]) -> str:
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+
+    def add_file(path: str) -> None:
+        digest.update(os.path.relpath(path, root).encode())
+        with open(path, "rb") as handle:
+            digest.update(handle.read())
+
+    for sub in subpackages:
+        target = os.path.join(root, sub)
+        if os.path.isfile(target):
+            add_file(target)
+            continue
+        for dirpath, _dirnames, filenames in sorted(os.walk(target)):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    add_file(os.path.join(dirpath, filename))
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=None)
+def simulator_fingerprint() -> str:
+    """Digest of every source file that affects simulation results."""
+    return _hash_tree(SIMULATOR_SUBPACKAGES)
+
+
+@lru_cache(maxsize=None)
+def workload_fingerprint() -> str:
+    """Digest of every source file that affects generated trace content."""
+    return _hash_tree(WORKLOAD_SUBPACKAGES)
+
+
+@lru_cache(maxsize=None)
+def timing_fingerprint() -> str:
+    """Digest of the analytical timing-model sources (Table 2)."""
+    return _hash_tree(TIMING_SUBPACKAGES)

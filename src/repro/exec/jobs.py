@@ -1,0 +1,66 @@
+"""Job specifications and the per-process job runner.
+
+A :class:`JobSpec` names one ``(workload, configuration)`` simulation by
+*value*: the workload name, the configuration name, the experiment settings,
+and an optional predictor-suite override.  Traces are deterministic functions
+of ``(name, instructions, seed)``, so specs — not pickled multi-megabyte
+traces — are what travels to worker processes; each worker rebuilds (and
+memoises) the traces it needs.
+
+``run_job`` is the single entry point executed on both the serial path and
+inside pool workers, which is what makes serial and parallel sweeps
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.predictors import PredictorSuiteConfig
+    from repro.harness.runner import ExperimentSettings, RunRecord
+    from repro.isa.trace import DynamicTrace
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One ``(workload, configuration)`` simulation, described by value."""
+
+    workload: str
+    config_name: str
+    settings: "ExperimentSettings"
+    predictors: Optional["PredictorSuiteConfig"] = None
+
+
+#: Per-process trace memo: (name, instructions, seed) -> DynamicTrace.  Kept
+#: small; sweeps are ordered workload-major so in practice one entry is live.
+_TRACE_CACHE: Dict[Tuple[str, int, int], "DynamicTrace"] = {}
+_TRACE_CACHE_LIMIT = 8
+
+
+def _trace_for(spec: JobSpec) -> "DynamicTrace":
+    from repro.workloads.suites import build_workload
+
+    key = (spec.workload, spec.settings.instructions, spec.settings.seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = build_workload(spec.workload, instructions=spec.settings.instructions,
+                               seed=spec.settings.seed)
+        while len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def run_job(spec: JobSpec) -> "RunRecord":
+    """Build (or reuse) the trace for ``spec`` and simulate it.
+
+    Imports are deferred so that :mod:`repro.exec` never imports
+    :mod:`repro.harness` at module level (the harness imports the engine).
+    """
+    from repro.harness.runner import run_workload
+
+    trace = _trace_for(spec)
+    return run_workload(trace, spec.config_name, spec.settings,
+                        predictors=spec.predictors)

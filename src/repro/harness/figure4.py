@@ -8,18 +8,17 @@ per-suite / overall geometric means the paper prints below the bars.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.exec import ExperimentEngine, JobSpec
 from repro.harness import paper_data
 from repro.harness.reporting import format_table
 from repro.harness.runner import (
     BASELINE_CONFIG,
     ExperimentSettings,
     FIGURE4_CONFIGS,
-    build_traces,
     geometric_mean,
-    run_workload,
 )
 from repro.workloads.profiles import get_profile
 from repro.workloads.suites import ALL_SUITES, workload_names
@@ -116,22 +115,33 @@ class Figure4Result:
 
 def run_figure4(workloads: Optional[Sequence[str]] = None,
                 settings: Optional[ExperimentSettings] = None,
-                configs: Sequence[str] = FIGURE4_CONFIGS) -> Figure4Result:
-    """Regenerate Figure 4 for the given workloads (default: all 47)."""
+                configs: Sequence[str] = FIGURE4_CONFIGS,
+                engine: Optional[ExperimentEngine] = None) -> Figure4Result:
+    """Regenerate Figure 4 for the given workloads (default: all 47).
+
+    The ``(workload, configuration)`` grid — baseline included — is executed
+    through ``engine`` (by default built from ``settings.jobs`` /
+    ``REPRO_JOBS``), which fans jobs out over worker processes and memoizes
+    finished cells on disk; results are merged back in input order, so the
+    report is identical however the grid was executed.
+    """
     settings = settings or ExperimentSettings()
+    engine = engine or ExperimentEngine.from_settings(settings)
     names = list(workloads) if workloads is not None else workload_names()
-    traces = build_traces(names, settings)
+
+    all_configs = [BASELINE_CONFIG] + list(configs)
+    specs = [JobSpec(name, config, settings)
+             for name in names for config in all_configs]
+    records = engine.run(specs, chunksize=len(all_configs))
 
     rows: List[Figure4Row] = []
-    for name in names:
-        trace = traces[name]
-        suite = get_profile(name).suite
-        baseline = run_workload(trace, BASELINE_CONFIG, settings).result
+    for i, name in enumerate(names):
+        group = records[i * len(all_configs):(i + 1) * len(all_configs)]
+        baseline = group[0].result
         relative: Dict[str, float] = {}
-        for config in configs:
-            run = run_workload(trace, config, settings).result
-            relative[config] = run.stats.cycles / baseline.stats.cycles
-        rows.append(Figure4Row(name=name, suite=suite,
+        for config, record in zip(configs, group[1:]):
+            relative[config] = record.result.stats.cycles / baseline.stats.cycles
+        rows.append(Figure4Row(name=name, suite=get_profile(name).suite,
                                baseline_ipc=baseline.stats.ipc,
                                baseline_cycles=baseline.stats.cycles,
                                relative_time=relative))

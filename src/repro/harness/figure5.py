@@ -15,22 +15,18 @@ oracle-scheduled associative SQ:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.predictors import PredictorSuiteConfig
+from repro.exec import ExperimentEngine, JobSpec
 from repro.harness.paper_data import (
     FIGURE5_ASSOCIATIVITIES,
     FIGURE5_CAPACITIES,
     FIGURE5_DDP_RATIOS,
 )
 from repro.harness.reporting import format_table
-from repro.harness.runner import (
-    BASELINE_CONFIG,
-    ExperimentSettings,
-    build_traces,
-    run_workload,
-)
+from repro.harness.runner import BASELINE_CONFIG, ExperimentSettings
 from repro.workloads.suites import sensitivity_workloads
 
 
@@ -68,60 +64,70 @@ class Figure5Result:
         ])
 
 
-def _relative_time(trace, predictors: Optional[PredictorSuiteConfig], config_name: str,
-                   settings: ExperimentSettings, baseline_cycles: int) -> float:
-    run = run_workload(trace, config_name, settings, predictors=predictors)
-    return run.result.stats.cycles / baseline_cycles
-
-
 def run_figure5(workloads: Optional[Sequence[str]] = None,
                 settings: Optional[ExperimentSettings] = None,
                 capacities: Sequence[int] = FIGURE5_CAPACITIES,
                 associativities: Sequence[int] = FIGURE5_ASSOCIATIVITIES,
-                ddp_ratios: Sequence[Tuple[int, int]] = FIGURE5_DDP_RATIOS) -> Figure5Result:
-    """Regenerate the three Figure 5 sweeps."""
+                ddp_ratios: Sequence[Tuple[int, int]] = FIGURE5_DDP_RATIOS,
+                engine: Optional[ExperimentEngine] = None) -> Figure5Result:
+    """Regenerate the three Figure 5 sweeps.
+
+    Every ``(workload, sweep point)`` cell — baselines included — is
+    submitted to ``engine`` as one flat job list (fan-out + result caching),
+    then indexed back into the three per-benchmark series.
+    """
     settings = settings or ExperimentSettings()
+    engine = engine or ExperimentEngine.from_settings(settings)
     names = list(workloads) if workloads is not None else sensitivity_workloads()
-    traces = build_traces(names, settings)
     default = PredictorSuiteConfig()
 
-    baseline_cycles: Dict[str, int] = {}
+    # One flat, workload-major job list; ``index`` maps logical points to
+    # positions so the series can be rebuilt after the engine returns.
+    specs: List[JobSpec] = []
+    index: Dict[Tuple[str, str, str], int] = {}
+
+    def add(name: str, kind: str, label: str, config: str,
+            predictors: Optional[PredictorSuiteConfig]) -> None:
+        index[(name, kind, label)] = len(specs)
+        specs.append(JobSpec(name, config, settings, predictors))
+
     for name in names:
-        baseline = run_workload(traces[name], BASELINE_CONFIG, settings).result
-        baseline_cycles[name] = baseline.stats.cycles
-
-    capacity_series: List[SweepSeries] = []
-    assoc_series: List[SweepSeries] = []
-    ratio_series: List[SweepSeries] = []
-
-    for name in names:
-        trace = traces[name]
-        base = baseline_cycles[name]
-
-        points = {}
+        add(name, "baseline", "", BASELINE_CONFIG, None)
         for entries in capacities:
-            predictors = default.scaled_fsp_ddp(entries)
-            points[str(entries)] = _relative_time(trace, predictors, "indexed-3-fwd+dly",
-                                                  settings, base)
-        capacity_series.append(SweepSeries(name=name, points=points))
-
-        points = {}
+            add(name, "capacity", str(entries), "indexed-3-fwd+dly",
+                default.scaled_fsp_ddp(entries))
         for assoc in associativities:
-            predictors = default.with_fsp_assoc(assoc)
-            points[str(assoc)] = _relative_time(trace, predictors, "indexed-3-fwd+dly",
-                                                settings, base)
-        assoc_series.append(SweepSeries(name=name, points=points))
-
-        points = {}
+            add(name, "associativity", str(assoc), "indexed-3-fwd+dly",
+                default.with_fsp_assoc(assoc))
         for positive, negative in ddp_ratios:
             label = f"{positive}:{negative}"
             if positive == 0:
                 # 0:1 never trains delay, which degenerates to the raw Fwd config.
-                points[label] = _relative_time(trace, default, "indexed-3-fwd", settings, base)
-                continue
-            predictors = default.with_ddp_ratio(positive, max(negative, 0))
-            points[label] = _relative_time(trace, predictors, "indexed-3-fwd+dly", settings, base)
-        ratio_series.append(SweepSeries(name=name, points=points))
+                add(name, "ddp_ratio", label, "indexed-3-fwd", default)
+            else:
+                add(name, "ddp_ratio", label, "indexed-3-fwd+dly",
+                    default.with_ddp_ratio(positive, max(negative, 0)))
+
+    per_workload = len(specs) // len(names) if names else 1
+    records = engine.run(specs, chunksize=max(1, per_workload))
+
+    def cycles(name: str, kind: str, label: str = "") -> int:
+        return records[index[(name, kind, label)]].result.stats.cycles
+
+    capacity_series: List[SweepSeries] = []
+    assoc_series: List[SweepSeries] = []
+    ratio_series: List[SweepSeries] = []
+    for name in names:
+        base = cycles(name, "baseline")
+        capacity_series.append(SweepSeries(name=name, points={
+            str(entries): cycles(name, "capacity", str(entries)) / base
+            for entries in capacities}))
+        assoc_series.append(SweepSeries(name=name, points={
+            str(assoc): cycles(name, "associativity", str(assoc)) / base
+            for assoc in associativities}))
+        ratio_series.append(SweepSeries(name=name, points={
+            f"{p}:{n}": cycles(name, "ddp_ratio", f"{p}:{n}") / base
+            for p, n in ddp_ratios}))
 
     return Figure5Result(capacity=capacity_series, associativity=assoc_series,
                          ddp_ratio=ratio_series, settings=settings)

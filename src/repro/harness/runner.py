@@ -4,14 +4,17 @@ The timing experiments (Table 3, Figures 4 and 5) all follow the same shape:
 build a workload trace once, simulate it under one or more store-queue
 configurations, and aggregate the per-run statistics.  This module provides
 the shared pieces; the per-experiment modules add only the configuration
-sweeps and report formats.
+sweeps and report formats, and execute their ``(workload, configuration)``
+grids through :class:`repro.exec.ExperimentEngine` (process fan-out via
+``REPRO_JOBS`` / ``ExperimentSettings.jobs``, on-disk result memoization
+under ``REPRO_CACHE_DIR``, default ``.repro-cache/``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core.predictors import PredictorSuiteConfig
 from repro.isa.trace import DynamicTrace
@@ -49,6 +52,13 @@ class ExperimentSettings:
     but is excluded from the reported statistics (our traces are far shorter
     than the paper's 10M-instruction samples, so proportionally more warm-up
     is needed before predictor cold-start effects stop dominating).
+
+    ``jobs`` is an *execution* knob, not a simulation knob: it sets how many
+    worker processes the :class:`~repro.exec.engine.ExperimentEngine` fans a
+    sweep out over (``None`` falls back to the ``REPRO_JOBS`` environment
+    variable, then serial; values <= 0 mean "all CPUs").  It is excluded
+    from equality and from result-cache keys because it cannot change any
+    simulated statistic — serial and parallel runs are bit-identical.
     """
 
     instructions: int = DEFAULT_INSTRUCTIONS
@@ -56,6 +66,7 @@ class ExperimentSettings:
     sq_size: int = 64
     stats_warmup_fraction: float = 0.25
     core: CoreConfig = field(default_factory=CoreConfig)
+    jobs: Optional[int] = field(default=None, compare=False)
 
 
 def make_policy(name: str, sq_size: int = 64,
@@ -125,10 +136,17 @@ def build_traces(names: Sequence[str],
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean (the aggregation Figure 4 uses for relative times)."""
-    values = [v for v in values]
-    if not values:
+    """Geometric mean (the aggregation Figure 4 uses for relative times).
+
+    Accepts any iterable in a single pass (no re-materialisation of the
+    input) and accumulates the log-sum with :func:`math.fsum` for
+    correctly-rounded summation even over long, spread-out series.
+    """
+    logs = []
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        logs.append(math.log(value))
+    if not logs:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geometric mean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(math.fsum(logs) / len(logs))

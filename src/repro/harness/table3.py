@@ -14,12 +14,13 @@ still in flight when the load executes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
+from repro.exec import ExperimentEngine, JobSpec
 from repro.harness import paper_data
 from repro.harness.reporting import format_table
-from repro.harness.runner import ExperimentSettings, build_traces, run_workload
+from repro.harness.runner import ExperimentSettings
 from repro.workloads.profiles import get_profile
 from repro.workloads.suites import ALL_SUITES, workload_names
 
@@ -98,18 +99,27 @@ class Table3Result:
 
 
 def run_table3(workloads: Optional[Sequence[str]] = None,
-               settings: Optional[ExperimentSettings] = None) -> Table3Result:
-    """Regenerate Table 3 for the given workloads (default: all 47)."""
+               settings: Optional[ExperimentSettings] = None,
+               engine: Optional[ExperimentEngine] = None) -> Table3Result:
+    """Regenerate Table 3 for the given workloads (default: all 47).
+
+    Both indexed-SQ runs of every workload go through ``engine`` (process
+    fan-out + on-disk memoization) as one workload-major job list.
+    """
     settings = settings or ExperimentSettings()
+    engine = engine or ExperimentEngine.from_settings(settings)
     names = list(workloads) if workloads is not None else workload_names()
-    traces = build_traces(names, settings)
+
+    configs = ("indexed-3-fwd", "indexed-3-fwd+dly")
+    specs = [JobSpec(name, config, settings)
+             for name in names for config in configs]
+    records = engine.run(specs, chunksize=len(configs))
 
     rows: List[Table3Row] = []
-    for name in names:
-        trace = traces[name]
+    for i, name in enumerate(names):
         suite = get_profile(name).suite
-        fwd = run_workload(trace, "indexed-3-fwd", settings).result.stats
-        dly = run_workload(trace, "indexed-3-fwd+dly", settings).result.stats
+        fwd = records[2 * i].result.stats
+        dly = records[2 * i + 1].result.stats
         rows.append(Table3Row(
             name=name,
             suite=suite,

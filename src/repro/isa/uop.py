@@ -170,35 +170,30 @@ class MicroOp:
     hint_call: bool = False
     hint_return: bool = False
 
+    # Convenience predicates, cached as plain attributes at construction: the
+    # simulator consults them several times per dynamic instruction, and a
+    # chained property lookup is measurably slower than an attribute read.
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_memory: bool = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
-        if self.op_class.is_memory and self.mem is None:
-            raise ValueError(f"{self.op_class.name} at pc={self.pc:#x} requires a MemAccess")
-        if not self.op_class.is_memory and self.mem is not None:
-            raise ValueError(f"{self.op_class.name} at pc={self.pc:#x} must not carry a MemAccess")
-        if self.op_class.is_store and self.mem is not None and self.mem.value is None:
+        op_class = self.op_class
+        self.is_load = op_class is OpClass.LOAD
+        self.is_store = op_class is OpClass.STORE
+        self.is_memory = self.is_load or self.is_store
+        self.is_branch = op_class is OpClass.BRANCH
+        if self.is_memory and self.mem is None:
+            raise ValueError(f"{op_class.name} at pc={self.pc:#x} requires a MemAccess")
+        if not self.is_memory and self.mem is not None:
+            raise ValueError(f"{op_class.name} at pc={self.pc:#x} must not carry a MemAccess")
+        if self.is_store and self.mem is not None and self.mem.value is None:
             raise ValueError(f"store at pc={self.pc:#x} requires a value")
-        if self.op_class.is_branch and self.is_taken and self.target is None:
+        if self.is_branch and self.is_taken and self.target is None:
             raise ValueError(f"taken branch at pc={self.pc:#x} requires a target")
         if self.dest is not None and self.dest < 0:
             raise ValueError("destination register index must be non-negative")
-
-    # -- convenience predicates -------------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        return self.op_class.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.op_class.is_store
-
-    @property
-    def is_memory(self) -> bool:
-        return self.op_class.is_memory
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op_class.is_branch
 
     @property
     def addr(self) -> Optional[int]:

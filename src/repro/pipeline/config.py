@@ -72,6 +72,12 @@ class CoreConfig:
     ssn_bits: int = 16
     model_ssn_wrap: bool = True
 
+    # Simulator fast path: fast-forward the clock over cycles in which
+    # nothing can issue, dispatch, complete, or commit.  Cycle-exact and
+    # statistics-identical to the straight-line loop; disable to A/B-check
+    # the event-aware loop against the original one-cycle-at-a-time loop.
+    idle_skip: bool = True
+
     # Safety valve for the cycle loop.
     max_cycles: Optional[int] = None
 

@@ -24,6 +24,17 @@ configurations so relative comparisons are preserved):
   micro-ops enter the window per cycle, at most one taken branch per cycle,
   provided no redirect is pending and no structure is full.  The explicit
   front-end depth appears only in the redirect/flush penalties.
+
+Performance notes (PR 1): the cycle loop is event-aware.  When nothing is
+ready to issue and dispatch cannot make progress, the clock jumps directly
+to the next cycle at which anything can happen (a pending completion, the
+commit-delay expiry of the ROB head, or the fetch-redirect resume point);
+the skipped cycles are attributed to the same stall counters the
+straight-line loop would have charged, so statistics are bit-identical
+(``CoreConfig.idle_skip`` disables the fast-forward for A/B checking).
+The ready queue is split into one heap per issue class so that entries
+blocked only by a per-class bandwidth limit are never popped and re-pushed
+cycle after cycle.
 """
 
 from __future__ import annotations
@@ -47,11 +58,27 @@ from repro.pipeline.rob import ReorderBuffer
 from repro.pipeline.stats import SimStats
 
 
+#: Issue-bandwidth class of each op class (budget buckets of ``IssueLimits``).
+_ISSUE_CLASS = {
+    OpClass.INT_ALU: "int",
+    OpClass.INT_MUL: "int",
+    OpClass.NOP: "int",
+    OpClass.FP_ALU: "fp",
+    OpClass.FP_MUL: "fp",
+    OpClass.FP_DIV: "fp",
+    OpClass.BRANCH: "branch",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+}
+
+_ISSUE_CLASS_KEYS = ("int", "fp", "branch", "load", "store")
+
+
 class _Inflight:
     """Per-dynamic-instruction record (kept lean; this is the hot structure)."""
 
     __slots__ = (
-        "seq", "uop", "squashed",
+        "seq", "uop", "squashed", "issue_class",
         # scheduling state
         "wait_srcs", "wait_fwd", "wait_dly", "issued", "completed",
         "consumers", "ready_pushed",
@@ -73,6 +100,7 @@ class _Inflight:
     def __init__(self, seq: int, uop: MicroOp) -> None:
         self.seq = seq
         self.uop = uop
+        self.issue_class = _ISSUE_CLASS[uop.op_class]
         self.squashed = False
         self.wait_srcs = 0
         self.wait_fwd = False
@@ -89,7 +117,7 @@ class _Inflight:
         self.rat_undo: Optional[Tuple[int, int]] = None
         self.ssn = 0
         self.sat_undo = None
-        self.oracle_undo: Optional[List[Tuple[int, int]]] = None
+        self.oracle_undo: Optional[Dict[int, Optional[Tuple[int, int]]]] = None
         self.prediction: Optional[LoadPrediction] = None
         self.ssn_at_rename = 0
         self.oracle_dep_ssn = 0
@@ -151,7 +179,10 @@ class OutOfOrderCore:
         self._records: Dict[int, _Inflight] = {}
         self._store_by_ssn: Dict[int, _Inflight] = {}
         self._dly_waiters: Dict[int, List[_Inflight]] = {}
-        self._ready: List[Tuple[int, int, _Inflight]] = []
+        # One ready heap per issue class; entries blocked only by per-class
+        # bandwidth stay put instead of being popped and re-pushed every cycle.
+        self._ready: Dict[str, List[Tuple[int, int, _Inflight]]] = {
+            key: [] for key in _ISSUE_CLASS_KEYS}
         self._ready_tiebreak = 0
         self._completions: Dict[int, List[_Inflight]] = {}
         # Oracle last-writer tracker: byte address -> (seq, ssn) of the
@@ -185,8 +216,11 @@ class OutOfOrderCore:
         warmup_instr_offset = 0
         last_commit_cycle = 0
         max_cycles = self.config.max_cycles
+        idle_skip = self.config.idle_skip
 
         while self.stats.committed < total:
+            if idle_skip and self._ready_is_empty():
+                self._skip_idle_cycles(total, max_cycles)
             self._cycle += 1
             self.stats.cycles = self._cycle - warmup_cycle_offset
 
@@ -208,10 +242,11 @@ class OutOfOrderCore:
             if committed_now:
                 last_commit_cycle = self._cycle
             elif self._cycle - last_commit_cycle > self.DEADLOCK_LIMIT:
+                ready = sum(len(heap) for heap in self._ready.values())
                 raise RuntimeError(
                     f"simulation deadlock at cycle {self._cycle}: "
                     f"{self.stats.committed}/{total} committed, ROB={len(self.rob)}, "
-                    f"ready={len(self._ready)}, fetch_seq={self._fetch_seq}")
+                    f"ready={ready}, fetch_seq={self._fetch_seq}")
             if max_cycles is not None and self._cycle >= max_cycles:
                 break
 
@@ -238,6 +273,98 @@ class OutOfOrderCore:
         for uop in trace.uops[:budget]:
             if uop.mem is not None:
                 self.hierarchy.warm(uop.mem.addr)
+
+    # ------------------------------------------------------------- fast-forward --
+
+    def _ready_is_empty(self) -> bool:
+        """True when no un-issued, un-squashed entry is ready (purges stale heads)."""
+        for heap in self._ready.values():
+            while heap:
+                record = heap[0][2]
+                if record.squashed or record.issued:
+                    heapq.heappop(heap)
+                else:
+                    break
+            if heap:
+                return False
+        return True
+
+    def _skip_idle_cycles(self, total: int, max_cycles: Optional[int]) -> None:
+        """Advance the clock to just before the next cycle anything can happen.
+
+        Called only when the ready heaps are empty.  If dispatch also cannot
+        make progress next cycle, the machine state is frozen until one of:
+
+        * a scheduled completion (``self._completions``),
+        * the ROB head's commit-delay expiry, or
+        * the fetch-redirect resume point,
+
+        so the loop may jump straight there.  The skipped cycles are charged
+        to the stall counters exactly as the straight-line loop would have
+        charged them, keeping every statistic bit-identical.
+        """
+        nxt = self._cycle + 1
+        # Would dispatch make progress at ``nxt``?  If so, no skipping.
+        if self._fetch_blocked_on is None and nxt >= self._fetch_resume_cycle \
+                and self._fetch_seq < total:
+            uop = self._trace[self._fetch_seq]
+            if not (self.rob.is_full()
+                    or self._iq_occupancy >= self.config.issue_queue_size
+                    or (uop.is_load and self.load_queue.is_full())
+                    or (uop.is_store and self.store_queue.is_full())):
+                return
+
+        target: Optional[int] = None
+        if self._completions:
+            target = min(self._completions)
+        head = self.rob.head()
+        if head is not None and head.completed:
+            commit_at = head.completion_cycle + self.config.backend_commit_delay
+            if target is None or commit_at < target:
+                target = commit_at
+        if (self._fetch_blocked_on is None and self._fetch_seq < total
+                and self._fetch_resume_cycle > nxt):
+            if target is None or self._fetch_resume_cycle < target:
+                target = self._fetch_resume_cycle
+        if target is None:
+            return  # genuine deadlock; let the straight-line loop detect it
+        if max_cycles is not None and target > max_cycles:
+            target = max_cycles
+        if target <= nxt:
+            return
+        self._account_idle(nxt, target - 1, total)
+        self._cycle = target - 1
+
+    def _account_idle(self, first: int, last: int, total: int) -> None:
+        """Charge skipped cycles ``first..last`` to the stall counters.
+
+        Mirrors what ``_dispatch_stage`` would have counted had each cycle
+        been executed: a fetch stall while redirect-blocked, then (with fetch
+        available but a structure full) the structural stall the first
+        undispatchable micro-op would have hit.  State cannot change inside
+        the window, so the attribution is constant apart from the
+        redirect-resume boundary.
+        """
+        n = last - first + 1
+        stats = self.stats
+        if self._fetch_blocked_on is not None:
+            stats.fetch_stall_cycles += n
+            return
+        fetch_blocked = min(n, max(0, self._fetch_resume_cycle - first))
+        stats.fetch_stall_cycles += fetch_blocked
+        rest = n - fetch_blocked
+        if rest <= 0 or self._fetch_seq >= total:
+            return
+        if self.rob.is_full():
+            stats.rob_stall_cycles += rest
+        elif self._iq_occupancy >= self.config.issue_queue_size:
+            stats.iq_stall_cycles += rest
+        else:
+            uop = self._trace[self._fetch_seq]
+            if uop.is_load and self.load_queue.is_full():
+                stats.lq_stall_cycles += rest
+            elif uop.is_store and self.store_queue.is_full():
+                stats.sq_stall_cycles += rest
 
     # ------------------------------------------------------------ completions --
 
@@ -282,7 +409,8 @@ class OutOfOrderCore:
             if not record.wait_dly:
                 record.ready_pushed = True
                 self._ready_tiebreak += 1
-                heapq.heappush(self._ready, (record.seq, self._ready_tiebreak, record))
+                heapq.heappush(self._ready[record.issue_class],
+                               (record.seq, self._ready_tiebreak, record))
 
     # ----------------------------------------------------------------- commit --
 
@@ -410,57 +538,63 @@ class OutOfOrderCore:
             self._fetch_blocked_on = None
 
     def _undo_last_writer(self, store_record: _Inflight) -> None:
-        if store_record.oracle_undo is None:
+        undo = store_record.oracle_undo
+        if undo is None:
             return
-        mem = store_record.uop.mem
-        for offset, previous in enumerate(store_record.oracle_undo):
-            byte_addr = mem.addr + offset
-            current = self._last_writer.get(byte_addr)
-            if current is not None and current[0] == store_record.seq:
+        last_writer = self._last_writer
+        seq = store_record.seq
+        for byte_addr, previous in undo.items():
+            current = last_writer.get(byte_addr)
+            if current is not None and current[0] == seq:
                 if previous is None:
-                    del self._last_writer[byte_addr]
+                    del last_writer[byte_addr]
                 else:
-                    self._last_writer[byte_addr] = previous
+                    last_writer[byte_addr] = previous
 
     # ------------------------------------------------------------------ issue --
 
-    _INT_CLASSES = (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.NOP)
-    _FP_CLASSES = (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV)
-
     def _issue_stage(self) -> None:
+        """Issue the oldest ready micro-ops, respecting per-class bandwidth.
+
+        Selection order matches the single-heap formulation (globally oldest
+        first among classes with remaining budget); entries whose class budget
+        is exhausted simply stay in their heap instead of being popped and
+        re-pushed every cycle.
+        """
         limits = self.config.issue_limits
         budget = {
-            "total": self.config.issue_width,
             "int": limits.int_ops,
             "fp": limits.fp_ops,
             "branch": limits.branches,
             "load": limits.loads,
             "store": limits.stores,
         }
-        deferred: List[Tuple[int, int, _Inflight]] = []
-        while budget["total"] > 0 and self._ready:
-            seq, tiebreak, record = heapq.heappop(self._ready)
-            if record.squashed or record.issued:
-                continue
-            op_class = record.uop.op_class
-            if op_class in self._INT_CLASSES:
-                key = "int"
-            elif op_class in self._FP_CLASSES:
-                key = "fp"
-            elif op_class is OpClass.BRANCH:
-                key = "branch"
-            elif op_class is OpClass.LOAD:
-                key = "load"
-            else:
-                key = "store"
-            if budget[key] <= 0:
-                deferred.append((seq, tiebreak, record))
-                continue
-            budget[key] -= 1
-            budget["total"] -= 1
+        total_budget = self.config.issue_width
+        heaps = self._ready
+        while total_budget > 0:
+            best_heap = None
+            best_key = None
+            best_seq = -1
+            for key in _ISSUE_CLASS_KEYS:
+                if budget[key] <= 0:
+                    continue
+                heap = heaps[key]
+                while heap:
+                    record = heap[0][2]
+                    if record.squashed or record.issued:
+                        heapq.heappop(heap)
+                    else:
+                        break
+                if heap and (best_heap is None or heap[0][0] < best_seq):
+                    best_heap = heap
+                    best_key = key
+                    best_seq = heap[0][0]
+            if best_heap is None:
+                break
+            _, _, record = heapq.heappop(best_heap)
+            budget[best_key] -= 1
+            total_budget -= 1
             self._execute(record)
-        for item in deferred:
-            heapq.heappush(self._ready, item)
 
     def _execute(self, record: _Inflight) -> None:
         record.issued = True
@@ -598,13 +732,15 @@ class OutOfOrderCore:
         self._store_by_ssn[ssn] = record
         record.sat_undo = self.policy.store_renamed(uop.pc, ssn)
 
-        # Oracle last-writer tracking (per byte) with undo for flush repair.
+        # Oracle last-writer tracking: touched-byte dict with the previous
+        # entries recorded alongside for flush repair.
         mem = uop.mem
-        undo: List[Optional[Tuple[int, int]]] = []
-        for offset in range(mem.size):
-            byte_addr = mem.addr + offset
-            undo.append(self._last_writer.get(byte_addr))
-            self._last_writer[byte_addr] = (record.seq, ssn)
+        last_writer = self._last_writer
+        entry = (record.seq, ssn)
+        undo: Dict[int, Optional[Tuple[int, int]]] = {}
+        for byte_addr in range(mem.addr, mem.addr + mem.size):
+            undo[byte_addr] = last_writer.get(byte_addr)
+            last_writer[byte_addr] = entry
         record.oracle_undo = undo
 
         # Store-store serialisation (original Store Sets only).
@@ -622,9 +758,10 @@ class OutOfOrderCore:
         self.load_queue.allocate(record.seq, uop.pc)
 
         # Oracle dependence: youngest older dispatched store writing any byte.
+        last_writer = self._last_writer
         oracle_ssn = 0
-        for offset in range(mem.size):
-            entry = self._last_writer.get(mem.addr + offset)
+        for byte_addr in range(mem.addr, mem.addr + mem.size):
+            entry = last_writer.get(byte_addr)
             if entry is not None and entry[1] > oracle_ssn:
                 oracle_ssn = entry[1]
         record.oracle_dep_ssn = oracle_ssn

@@ -1,0 +1,14 @@
+"""Test-suite-wide configuration.
+
+The experiment engine memoizes simulation results under ``.repro-cache/``
+by default.  Tests must not read or write a cache that persists across test
+runs (hidden coupling; stale results could mask regressions), so caching is
+switched off for the whole suite unless the developer explicitly opts in by
+exporting ``REPRO_CACHE`` themselves.  Tests that exercise the cache pass an
+explicit ``cache_dir`` / ``ResultCache`` (an explicit opt-in that overrides
+the switch) pointed at ``tmp_path``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_CACHE", "0")

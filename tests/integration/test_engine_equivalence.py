@@ -1,0 +1,68 @@
+"""Figure 4 is bit-identical across serial, parallel, and cached execution.
+
+This is the contract the experiment engine exists to uphold: fanning the
+``(workload, configuration)`` grid over worker processes, or re-running it
+against a warm on-disk cache, must reproduce *exactly* the statistics of a
+plain serial run — per-workload cycle counts, IPCs, relative times, and the
+geometric means built from them.
+"""
+
+import pytest
+
+from repro.exec import ExperimentEngine, ResultCache
+from repro.harness.figure4 import run_figure4
+from repro.harness.runner import ExperimentSettings
+
+WORKLOADS = ["gzip", "mesa.m", "swim", "adpcm.d"]
+SETTINGS = ExperimentSettings(instructions=1500, stats_warmup_fraction=0.2)
+
+
+def _snapshot(result):
+    """Everything Figure 4 reports, in comparable form."""
+    return {
+        row.name: (row.baseline_cycles, row.baseline_ipc,
+                   tuple(sorted(row.relative_time.items())))
+        for row in result.rows
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    engine = ExperimentEngine(jobs=1, cache=False)
+    result = run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine)
+    assert engine.last_run_stats["simulated"] == len(WORKLOADS) * 6
+    return result
+
+
+class TestEngineEquivalence:
+    def test_parallel_identical(self, serial_result):
+        engine = ExperimentEngine(jobs=2, cache=False)
+        parallel = run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine)
+        assert engine.last_run_stats["workers"] == 2
+        assert _snapshot(parallel) == _snapshot(serial_result)
+
+    def test_cached_rerun_identical(self, serial_result, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        cold = run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine)
+        assert engine.last_run_stats["cache_hits"] == 0
+        warm = run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine)
+        assert engine.last_run_stats["cache_hits"] == len(WORKLOADS) * 6
+        assert engine.last_run_stats["simulated"] == 0
+        assert _snapshot(cold) == _snapshot(serial_result)
+        assert _snapshot(warm) == _snapshot(serial_result)
+
+    def test_cached_partial_rerun_only_simulates_new_cells(self, tmp_path):
+        """Changing the sweep (adding one configuration) only simulates the
+        new cells; everything else is served from the cache."""
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine,
+                    configs=("associative-3",))
+        run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine,
+                    configs=("associative-3", "indexed-3-fwd"))
+        assert engine.last_run_stats["cache_hits"] == len(WORKLOADS) * 2
+        assert engine.last_run_stats["simulated"] == len(WORKLOADS)
+
+    def test_gmeans_identical(self, serial_result, tmp_path):
+        engine = ExperimentEngine(jobs=2, cache=ResultCache(tmp_path))
+        other = run_figure4(workloads=WORKLOADS, settings=SETTINGS, engine=engine)
+        assert other.gmeans() == serial_result.gmeans()

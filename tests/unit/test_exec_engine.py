@@ -1,0 +1,178 @@
+"""Unit tests for the execution subsystem (engine, cache, fingerprints)."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.predictors import PredictorSuiteConfig
+from repro.exec import (
+    ExperimentEngine,
+    JobSpec,
+    ResultCache,
+    job_key,
+    resolve_jobs,
+    run_job,
+    simulator_fingerprint,
+    workload_fingerprint,
+)
+from repro.harness.runner import ExperimentSettings
+from repro.pipeline.config import CoreConfig
+
+FAST = ExperimentSettings(instructions=800, stats_warmup_fraction=0.1)
+
+
+class TestResolveJobs:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_nonpositive_means_all_cpus(self, monkeypatch):
+        import os
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_settings_plumbing(self):
+        engine = ExperimentEngine.from_settings(
+            ExperimentSettings(jobs=5), cache=False)
+        assert engine.jobs == 5
+
+
+class TestCacheKey:
+    def test_identical_settings_identical_key(self):
+        a = JobSpec("gzip", "indexed-3-fwd", ExperimentSettings(instructions=800))
+        b = JobSpec("gzip", "indexed-3-fwd", ExperimentSettings(instructions=800))
+        assert job_key(a) == job_key(b)
+
+    @pytest.mark.parametrize("change", [
+        dict(instructions=900),
+        dict(seed=2),
+        dict(sq_size=32),
+        dict(stats_warmup_fraction=0.3),
+        dict(core=CoreConfig(rob_size=256)),
+    ])
+    def test_settings_change_changes_key(self, change):
+        base = JobSpec("gzip", "indexed-3-fwd", ExperimentSettings(instructions=800))
+        other = JobSpec("gzip", "indexed-3-fwd",
+                        dataclasses.replace(ExperimentSettings(instructions=800), **change))
+        assert job_key(base) != job_key(other)
+
+    def test_workload_config_predictors_in_key(self):
+        base = JobSpec("gzip", "indexed-3-fwd", FAST)
+        assert job_key(base) != job_key(dataclasses.replace(base, workload="swim"))
+        assert job_key(base) != job_key(dataclasses.replace(base, config_name="associative-3"))
+        assert job_key(base) != job_key(dataclasses.replace(
+            base, predictors=PredictorSuiteConfig().with_fsp_assoc(4)))
+
+    def test_jobs_knob_excluded_from_key(self):
+        serial = JobSpec("gzip", "indexed-3-fwd",
+                         ExperimentSettings(instructions=800, jobs=1))
+        parallel = JobSpec("gzip", "indexed-3-fwd",
+                           ExperimentSettings(instructions=800, jobs=8))
+        assert job_key(serial) == job_key(parallel)
+
+    def test_fingerprints_are_stable_hex(self):
+        assert simulator_fingerprint() == simulator_fingerprint()
+        assert len(workload_fingerprint()) == 64
+        assert simulator_fingerprint() != workload_fingerprint()
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k" * 64, {"value": 42})
+        assert cache.get("k" * 64) == {"value": 42}
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get("k" * 64) is None
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+
+    def test_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        cache = ResultCache()
+        cache.put("k", 1)
+        assert (tmp_path / "elsewhere" / "k.pkl").exists()
+
+
+class TestEngine:
+    def _specs(self, settings=FAST):
+        return [JobSpec("gzip", name, settings)
+                for name in ("oracle-associative-3", "indexed-3-fwd")]
+
+    def test_cache_miss_then_hit(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        first = engine.run(self._specs())
+        assert engine.last_run_stats["cache_hits"] == 0
+        assert engine.last_run_stats["simulated"] == 2
+        second = engine.run(self._specs())
+        assert engine.last_run_stats["cache_hits"] == 2
+        assert engine.last_run_stats["simulated"] == 0
+        assert [r.result.stats.as_dict() for r in first] == \
+            [r.result.stats.as_dict() for r in second]
+
+    def test_settings_change_is_a_miss(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        engine.run(self._specs())
+        changed = dataclasses.replace(FAST, instructions=900)
+        engine.run(self._specs(settings=changed))
+        assert engine.last_run_stats["cache_hits"] == 0
+        assert engine.last_run_stats["simulated"] == 2
+
+    def test_cache_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        engine = ExperimentEngine(jobs=1)
+        assert engine.cache is None
+        engine.run(self._specs())
+        assert engine.last_run_stats["cache_hits"] == 0
+
+    def test_explicit_cache_dir_overrides_env_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        assert engine.cache is not None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert ExperimentEngine(jobs=1, cache=False, cache_dir=tmp_path).cache is None
+
+    def test_parallel_matches_serial(self):
+        serial = ExperimentEngine(jobs=1, cache=False).run(self._specs())
+        parallel = ExperimentEngine(jobs=2, cache=False).run(self._specs())
+        assert [r.result.stats.as_dict() for r in serial] == \
+            [r.result.stats.as_dict() for r in parallel]
+
+    def test_order_preserved(self):
+        specs = [JobSpec(w, "indexed-3-fwd", FAST) for w in ("swim", "gzip", "swim")]
+        records = ExperimentEngine(jobs=2, cache=False).run(specs)
+        assert [r.workload for r in records] == ["swim", "gzip", "swim"]
+
+    def test_spec_and_record_picklable(self):
+        spec = self._specs()[0]
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        record = run_job(spec)
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone.result.stats.cycles == record.result.stats.cycles
+
+    def test_generic_memoization(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 7}
+
+        assert engine.cached("tag", {"p": 1}, compute) == {"x": 7}
+        assert engine.cached("tag", {"p": 1}, compute) == {"x": 7}
+        assert len(calls) == 1
+        assert engine.cached("tag", {"p": 2}, compute) == {"x": 7}
+        assert len(calls) == 2
