@@ -17,7 +17,7 @@ simulates nothing.
 import os
 import time
 
-from conftest import DEFAULT_INSTRUCTIONS, write_bench_json
+from _common import DEFAULT_INSTRUCTIONS, write_bench_json
 
 from repro.exec import ExperimentEngine, ResultCache
 from repro.harness.figure4 import run_figure4

@@ -1,4 +1,4 @@
-"""Shared configuration for the reproduction benchmarks.
+"""Pytest configuration for the reproduction benchmarks.
 
 Each benchmark regenerates one of the paper's tables or figures.  Because a
 single regeneration already simulates dozens of (workload, configuration)
@@ -7,54 +7,34 @@ reported by pytest-benchmark is the cost of regenerating the artifact, and
 the artifact itself is printed and attached to ``benchmark.extra_info``.
 
 All simulation grids execute through :class:`repro.exec.ExperimentEngine`:
-jobs fan out over a process pool and finished cells are memoized on disk
-(see ``REPRO_CACHE_DIR`` below), so a re-run after an interrupted sweep only
-simulates the missing cells.  Cached cells make the pytest-benchmark wall
-time an underestimate of full regeneration cost — each bench attaches
-``engine`` stats (cache hits vs simulated) to ``extra_info`` so the timing
-stays interpretable; ``benchmarks/run_all.py`` disables caching for its
-timed runs and is the authoritative trajectory measurement.
+jobs fan out over a process pool and finished cells are memoized on disk,
+so a re-run after an interrupted sweep only simulates the missing cells.
+Cached cells make the pytest-benchmark wall time an underestimate of full
+regeneration cost — each bench attaches ``engine`` stats (cache hits vs
+simulated) to ``extra_info`` so the timing stays interpretable;
+``benchmarks/run_all.py`` disables caching for its timed runs and is the
+authoritative trajectory measurement.
 
-Environment knobs:
-
-``REPRO_BENCH_INSTRUCTIONS``
-    Dynamic instructions per workload trace (default 8000).  The paper uses
-    10M-instruction samples; the default here keeps the full 47-workload
-    sweep to a few minutes while preserving the qualitative shape.  Increase
-    it for higher-fidelity runs.
-``REPRO_BENCH_WORKLOADS``
-    Comma-separated subset of workload names (default: all 47 for Table 3 /
-    Figure 4, the paper's nine for Figure 5).
-``REPRO_JOBS``
-    Worker-process count for the experiment engine.  Benchmarks default to
-    one worker per CPU; values <= 0 also mean "all CPUs".
-``REPRO_CACHE`` / ``REPRO_CACHE_DIR``
-    Set ``REPRO_CACHE=0`` to disable result memoization; ``REPRO_CACHE_DIR``
-    moves the cache (default ``.repro-cache/``, safe to delete any time).
+The knobs, helpers, and the ``BENCH_*.json`` writer live in
+:mod:`_common` (pytest-free, shared with ``run_all.py`` and the
+``repro-bench`` console entry point); this module adds only the fixtures.
 """
-
-import datetime
-import json
-import os
-from pathlib import Path
 
 import pytest
 
+# Re-exported so benches can keep importing everything `from conftest`.
+from _common import (  # noqa: F401
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_JOBS,
+    REPO_ROOT,
+    WORKLOAD_SUBSET,
+    run_environment,
+    run_once,
+    write_bench_json,
+)
+
 from repro.exec import ExperimentEngine
 from repro.harness.runner import ExperimentSettings
-
-#: Repository root (benchmarks/ lives directly under it); the BENCH_*.json
-#: trajectory files are written here so successive PRs can diff them.
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
-
-_workloads_env = os.environ.get("REPRO_BENCH_WORKLOADS", "").strip()
-WORKLOAD_SUBSET = [w.strip() for w in _workloads_env.split(",") if w.strip()] or None
-
-#: Benchmarks exercise the parallel path by default: REPRO_JOBS if set,
-#: otherwise one worker per CPU.
-DEFAULT_JOBS = int(os.environ.get("REPRO_JOBS", "0") or "0") or (os.cpu_count() or 1)
 
 
 @pytest.fixture(scope="session")
@@ -75,27 +55,3 @@ def bench_engine(bench_settings) -> ExperimentEngine:
 def bench_workloads():
     """Workload subset override (None means the experiment's default set)."""
     return WORKLOAD_SUBSET
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-
-def write_bench_json(name: str, payload: dict) -> Path:
-    """Write one machine-readable ``BENCH_<name>.json`` at the repo root.
-
-    Every trajectory file carries the same envelope (UTC timestamp, trace
-    length, wall time) plus bench-specific metrics, so tooling can track the
-    performance trajectory across PRs without parsing pytest output.
-    """
-    path = REPO_ROOT / f"BENCH_{name}.json"
-    envelope = {
-        "bench": name,
-        "timestamp": datetime.datetime.now(datetime.timezone.utc)
-        .isoformat(timespec="seconds"),
-        "instructions": DEFAULT_INSTRUCTIONS,
-    }
-    envelope.update(payload)
-    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
-    return path

@@ -12,7 +12,11 @@ the performance *and* fidelity trajectory is checkable from PR 1 onward:
 
 Honours the same environment knobs as the pytest benchmarks
 (``REPRO_BENCH_INSTRUCTIONS``, ``REPRO_BENCH_WORKLOADS``, ``REPRO_JOBS``,
-``REPRO_CACHE``, ``REPRO_CACHE_DIR``; see ``benchmarks/conftest.py``).
+``REPRO_CACHE``, ``REPRO_CACHE_DIR``; see ``benchmarks/conftest.py``) plus
+the sampling-bench lengths (``REPRO_BENCH_SAMPLING_INSTRUCTIONS`` for the
+matched-count speedup comparison, ``REPRO_BENCH_SAMPLED_INSTRUCTIONS`` for
+the paper-scale sampled artifact).  Every ``BENCH_*.json`` records the CPU
+count and the ``REPRO_*`` knobs in effect alongside its metrics.
 """
 
 import os
@@ -23,13 +27,18 @@ import traceback
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from conftest import (  # noqa: E402
+from _common import (  # noqa: E402
     DEFAULT_INSTRUCTIONS,
     DEFAULT_JOBS,
     WORKLOAD_SUBSET,
     write_bench_json,
 )
 from bench_engine_speedup import measure_engine_speedup  # noqa: E402
+from bench_sampling_speedup import (  # noqa: E402
+    assert_speedup,
+    measure_sampled_artifact,
+    measure_sampling_speedup,
+)
 
 from repro.exec import ExperimentEngine  # noqa: E402
 from repro.harness.figure4 import run_figure4  # noqa: E402
@@ -125,12 +134,36 @@ def bench_engine(_engine: ExperimentEngine) -> dict:
     return data
 
 
+def bench_sampling(_engine: ExperimentEngine) -> dict:
+    """Sampling speedup at matched counts + a paper-scale sampled artifact.
+
+    The matched-count half simulates the same (workload, configuration)
+    both ways and asserts the >= ~10x win; the artifact half runs a
+    10M-instruction Figure-4 cell sampled-only (relative time with a
+    confidence interval) — the scale the subsystem exists to reach.
+    """
+    speedup = measure_sampling_speedup()
+    assert_speedup(speedup)
+    artifact = measure_sampled_artifact()
+    assert artifact["intervals"] >= 2, artifact
+    assert artifact["relative_time_ci_halfwidth"] > 0.0, artifact
+    if artifact["artifact_instructions"] >= 2_000_000:
+        # Paper-scale bars; reduced REPRO_BENCH_SAMPLED_INSTRUCTIONS runs
+        # still record the numbers but skip the absolute bands (mirroring
+        # FULL_FIDELITY above).
+        assert artifact["intervals"] >= 10, artifact
+        assert artifact["relative_time_ci_halfwidth"] < 0.25 * artifact["relative_time"], artifact
+        assert 0.7 < artifact["relative_time"] < 1.4, artifact
+    return {"speedup": speedup, "artifact": artifact}
+
+
 BENCHES = (
     ("table2", bench_table2),
     ("table3", bench_table3),
     ("figure4", bench_figure4),
     ("figure5", bench_figure5),
     ("engine", bench_engine),
+    ("sampling", bench_sampling),
 )
 
 

@@ -1,10 +1,45 @@
 """Setuptools entry point.
 
-Project metadata lives in setup.cfg.  A classic setup.py/setup.cfg layout is
-used (instead of pyproject.toml) so that ``pip install -e .`` works on fully
-offline machines, where PEP 517 build isolation cannot download its build
-requirements.
-"""
-from setuptools import setup
+Metadata is declared here (rather than pyproject.toml) so that
+``pip install -e .`` works on fully offline machines, where PEP 517 build
+isolation cannot download its build requirements.
 
-setup()
+Installs the ``repro`` package from ``src/`` and a ``repro-bench`` console
+script that runs the full benchmark/trajectory suite
+(``benchmarks/run_all.py``; see :mod:`repro.cli`).
+"""
+import pathlib
+import re
+
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__.
+_INIT = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'^__version__ = "([^"]+)"', _INIT.read_text(), re.M).group(1)
+
+setup(
+    name="repro-sqip",
+    version=VERSION,
+    description=("Reproduction of 'Scalable Store-Load Forwarding via "
+                 "Store Queue Index Prediction' (Sha, Martin, Roth; "
+                 "MICRO 2005): cycle-level simulator, synthetic SPEC2000/"
+                 "MediaBench proxy workloads, parallel experiment engine, "
+                 "and a statistical sampling subsystem for paper-scale "
+                 "10M-instruction runs"),
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -11,10 +11,15 @@ The package is organised as the paper's system is:
 * :mod:`repro.pipeline` — the cycle-level out-of-order core.
 * :mod:`repro.isa`, :mod:`repro.memory`, :mod:`repro.frontend` — substrates:
   the trace micro-op ISA, memory hierarchy, and branch prediction.
-* :mod:`repro.workloads` — synthetic SPEC2000/MediaBench proxy workloads.
+* :mod:`repro.workloads` — synthetic SPEC2000/MediaBench proxy workloads
+  (segment-composed, so paper-length traces support random access).
 * :mod:`repro.timing` — the CACTI-style SQ latency/energy model (Table 2).
 * :mod:`repro.harness` — experiment runners that regenerate the paper's
   tables and figures.
+* :mod:`repro.exec` — the parallel experiment engine and result cache.
+* :mod:`repro.sampling` — statistical sampling (functional warming +
+  detailed measurement intervals + confidence intervals) for paper-scale
+  10M-instruction runs.
 
 Quickstart::
 
@@ -44,11 +49,12 @@ from repro.lsu import (
 )
 from repro.pipeline import CoreConfig, OutOfOrderCore, SimulationResult, SimStats
 from repro.isa import DynamicTrace, MicroOp, OpClass
+from repro.sampling import SampledResult, SamplingPlan
 from repro.workloads import build_workload, build_suite, workload_names
 from repro.timing import SQGeometry, sq_latency_table
 from repro.harness import run_figure4, run_figure5, run_table2, run_table3
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssociativeStoreSetsPolicy",
@@ -63,6 +69,8 @@ __all__ = [
     "OracleAssociativePolicy",
     "OutOfOrderCore",
     "PredictorSuiteConfig",
+    "SampledResult",
+    "SamplingPlan",
     "SimStats",
     "SimulationResult",
     "SQGeometry",

@@ -1,0 +1,47 @@
+"""Console entry points.
+
+``repro-bench`` (declared in ``setup.py``) runs the full benchmark /
+trajectory suite — ``benchmarks/run_all.py`` — which regenerates every
+paper artifact through the experiment engine, applies the sanity
+assertions, and writes the ``BENCH_*.json`` trajectory files.
+
+The benchmarks live next to the repository (they write trajectory files at
+the repo root and are also collected by pytest-benchmark), not inside the
+installed package, so the entry point locates ``benchmarks/run_all.py``
+relative to an editable install or the current working directory.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+
+def _find_run_all() -> Path:
+    """Locate ``benchmarks/run_all.py`` for an editable install or checkout."""
+    candidates = [
+        # Current working directory (running from a checkout).
+        Path.cwd() / "benchmarks" / "run_all.py",
+        # Editable install: src/repro/cli.py -> repo root is two levels up.
+        Path(__file__).resolve().parent.parent.parent / "benchmarks" / "run_all.py",
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    raise FileNotFoundError(
+        "benchmarks/run_all.py not found; run repro-bench from a repository "
+        "checkout (or an editable install), as the benchmark suite writes "
+        "its BENCH_*.json trajectory files at the repository root")
+
+
+def main() -> int:
+    """Run the benchmark suite; exit status mirrors ``run_all.main()``."""
+    run_all = _find_run_all()
+    sys.path.insert(0, str(run_all.parent))
+    globals_dict = runpy.run_path(str(run_all), run_name="__repro_bench__")
+    return int(globals_dict["main"]())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

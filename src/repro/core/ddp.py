@@ -203,6 +203,14 @@ class DelayDistancePredictor:
     def occupancy(self) -> int:
         return sum(1 for ways in self._sets for e in ways if e.valid)
 
+    def state_signature(self) -> frozenset:
+        """The set of (set index, tag, current distance) delays held
+        (counters/LRU excluded; see the FSP's ``state_signature``)."""
+        return frozenset(
+            (index, entry.tag, entry.current_distance)
+            for index, ways in enumerate(self._sets)
+            for entry in ways if entry.valid)
+
     def storage_bits(self) -> int:
         """Approximate storage cost in bits (two distances + counter + tag)."""
         distance_bits = (self.sq_size - 1).bit_length()

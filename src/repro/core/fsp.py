@@ -187,6 +187,18 @@ class ForwardingStorePredictor:
         """Number of valid entries (for diagnostics)."""
         return sum(1 for ways in self._sets for e in ways if e.valid)
 
+    def state_signature(self) -> frozenset:
+        """The set of (set index, tag, partial store PC) dependences held.
+
+        Counter and LRU values are excluded: they steer replacement, not
+        prediction, and functional warming trains them at a different rate
+        than detailed execution.  Warming tests compare dependence *sets*.
+        """
+        return frozenset(
+            (index, entry.tag, entry.store_pc)
+            for index, ways in enumerate(self._sets)
+            for entry in ways if entry.valid)
+
     def storage_bits(self) -> int:
         """Approximate storage cost in bits (Section 4.1 sizing discussion)."""
         per_entry = 1 + self.config.tag_bits + self.config.store_pc_bits + self.config.counter_bits

@@ -141,3 +141,12 @@ class StoreSetsPredictor:
         self._ssit = [_INVALID_SSID] * self.config.ssit_entries
         self._lfst = [0] * self.config.lfst_entries
         self._next_ssid = 0
+
+    def ssit_signature(self) -> tuple:
+        """Hashable snapshot of the SSIT (set-membership structure only).
+
+        The LFST is excluded on purpose: it holds transient youngest-
+        in-flight SSNs, which functional warming (where every store commits
+        instantly) cannot and need not reproduce.
+        """
+        return tuple(self._ssit)

@@ -169,3 +169,12 @@ class SVWFilter:
         """Clear both tables (SSN wrap handling)."""
         self.ssbf.clear()
         self.spct.clear()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of both tables.
+
+        The SSBF/SPCT are updated only at store commit (program order), so a
+        functional replay of a trace prefix must reproduce the detailed
+        core's tables *exactly*; the warming unit tests assert this.
+        """
+        return (tuple(self.ssbf._table), tuple(self.spct._table))

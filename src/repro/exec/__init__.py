@@ -10,6 +10,11 @@ This package is the performance substrate under every timing experiment:
 * :class:`~repro.exec.cache.ResultCache` — content-addressed memoization
   keyed by trace fingerprint, configuration, settings, and simulator source
   fingerprints.
+* :class:`~repro.exec.jobs.IntervalJobSpec` — one measurement interval of a
+  statistically sampled run (``settings.sampling``); the engine expands
+  sampled specs into interval jobs, fans them out, caches each one
+  independently, and merges the records deterministically (see
+  :mod:`repro.sampling`).
 
 Environment knobs: ``REPRO_JOBS`` (worker count; <= 0 means all CPUs),
 ``REPRO_CACHE`` (``0`` disables caching), ``REPRO_CACHE_DIR`` (cache
@@ -29,12 +34,13 @@ from repro.exec.fingerprint import (
     timing_fingerprint,
     workload_fingerprint,
 )
-from repro.exec.jobs import JobSpec, run_job
+from repro.exec.jobs import IntervalJobSpec, JobSpec, run_job
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "ExperimentEngine",
+    "IntervalJobSpec",
     "JobSpec",
     "ResultCache",
     "generic_key",

@@ -53,7 +53,13 @@ def _canonical(obj: Any) -> Any:
 
 
 def job_key(spec: "JobSpec") -> str:  # noqa: F821 - typing only
-    """Content-addressed cache key for one :class:`~repro.exec.jobs.JobSpec`."""
+    """Content-addressed cache key for one job spec.
+
+    Accepts both base :class:`~repro.exec.jobs.JobSpec` and per-interval
+    :class:`~repro.exec.jobs.IntervalJobSpec` (whose key additionally
+    covers the interval index; the sampling plan itself is part of the
+    settings, so any plan change invalidates every interval).
+    """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "workload": spec.workload,
@@ -63,6 +69,9 @@ def job_key(spec: "JobSpec") -> str:  # noqa: F821 - typing only
         "trace_sources": workload_fingerprint(),
         "simulator_sources": simulator_fingerprint(),
     }
+    interval_index = getattr(spec, "interval_index", None)
+    if interval_index is not None:
+        payload["interval_index"] = interval_index
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
 

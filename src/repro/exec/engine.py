@@ -11,6 +11,10 @@ using three layers:
   so a parallel run is bit-identical to a serial one.
 * **serial fallback** — with one worker (or one job) everything runs
   in-process through the same :func:`~repro.exec.jobs.run_job` code path.
+* **sampling expansion** — specs whose settings carry a
+  :class:`~repro.sampling.plan.SamplingPlan` are expanded into per-interval
+  jobs before the cache/pool pass and merged back afterwards, so sampled
+  sweeps parallelise and memoize at interval granularity.
 
 Environment knobs:
 
@@ -91,6 +95,13 @@ class ExperimentEngine:
 
     # ----------------------------------------------------------------- running --
 
+    @staticmethod
+    def _is_sampled_spec(spec) -> bool:
+        """True for a base :class:`JobSpec` that names a sampled run
+        (interval specs carry the plan too, but are already expanded)."""
+        return (isinstance(spec, JobSpec)
+                and getattr(spec.settings, "sampling", None) is not None)
+
     def run(self, specs: Sequence[JobSpec],
             chunksize: Optional[int] = None) -> List["RunRecord"]:  # noqa: F821
         """Execute ``specs`` and return their records in input order.
@@ -99,8 +110,50 @@ class ExperimentEngine:
         at once; sweeps ordered workload-major benefit from a multiple of
         the per-workload group size (each worker then builds each trace
         once).  The default heuristic balances that against load balance.
+
+        Specs whose settings carry a :class:`~repro.sampling.plan.SamplingPlan`
+        are expanded into one :class:`~repro.exec.jobs.IntervalJobSpec` per
+        measurement interval: the intervals of *all* sampled specs join the
+        same fan-out/cache pass (each interval independently
+        content-addressed on disk), and are then merged deterministically
+        back into one record per original spec.
         """
         specs = list(specs)
+        if any(self._is_sampled_spec(spec) for spec in specs):
+            return self._run_expanding_sampled(specs, chunksize)
+        return self._execute(specs, chunksize)
+
+    def _run_expanding_sampled(self, specs: Sequence[JobSpec],
+                               chunksize: Optional[int]) -> List["RunRecord"]:  # noqa: F821
+        from repro.sampling.driver import expand_sampled_spec, merge_interval_records
+
+        flat: List = []
+        layout: List[tuple] = []  # (base spec or None, start, count)
+        for spec in specs:
+            if self._is_sampled_spec(spec):
+                intervals = expand_sampled_spec(spec)
+                layout.append((spec, len(flat), len(intervals)))
+                flat.extend(intervals)
+            else:
+                layout.append((None, len(flat), 1))
+                flat.append(spec)
+        # Caller chunksize heuristics target the unexpanded grid; let the
+        # default heuristic balance the (much longer) interval list instead.
+        flat_records = self._execute(flat, None)
+        results: List["RunRecord"] = []
+        for base_spec, start, count in layout:
+            if base_spec is None:
+                results.append(flat_records[start])
+            else:
+                results.append(merge_interval_records(
+                    base_spec, flat_records[start:start + count]))
+        self.last_run_stats["sampled_specs"] = sum(
+            1 for base_spec, _, _ in layout if base_spec is not None)
+        return results
+
+    def _execute(self, specs: List[JobSpec],
+                 chunksize: Optional[int] = None) -> List["RunRecord"]:  # noqa: F821
+        """Run already-expanded specs through the cache + pool machinery."""
         results: List[Optional["RunRecord"]] = [None] * len(specs)
 
         pending_indices: List[int] = []

@@ -28,7 +28,7 @@ import repro
 #: the per-job run (``run_workload``); the rest of the harness only
 #: orchestrates jobs and formats reports, which cannot change a result.
 SIMULATOR_SUBPACKAGES: Sequence[str] = (
-    "pipeline", "lsu", "memory", "core", "frontend", "isa",
+    "pipeline", "lsu", "memory", "core", "frontend", "isa", "sampling",
     "harness/runner.py")
 
 #: Sub-packages whose sources determine trace content.

@@ -25,11 +25,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One ``(workload, configuration)`` simulation, described by value."""
+    """One ``(workload, configuration)`` simulation, described by value.
+
+    When ``settings.sampling`` is set, the spec names a *sampled* run: the
+    engine expands it into one :class:`IntervalJobSpec` per measurement
+    interval (fanned out and cached independently) and merges the interval
+    records back into a single
+    :class:`~repro.sampling.result.SampledSimulationResult`-backed record.
+    """
 
     workload: str
     config_name: str
     settings: "ExperimentSettings"
+    predictors: Optional["PredictorSuiteConfig"] = None
+
+
+@dataclass(frozen=True)
+class IntervalJobSpec:
+    """One sampling interval of a sampled ``(workload, configuration)`` run.
+
+    Fully described by value: the worker regenerates the interval's trace
+    window (:func:`repro.workloads.suites.build_workload_window`),
+    functionally warms a fresh machine over the window prefix, and then
+    simulates the detailed warm-up + measured region.  ``settings.sampling``
+    must be the plan the interval index refers to.
+    """
+
+    workload: str
+    config_name: str
+    settings: "ExperimentSettings"
+    interval_index: int
     predictors: Optional["PredictorSuiteConfig"] = None
 
 
@@ -53,12 +78,26 @@ def _trace_for(spec: JobSpec) -> "DynamicTrace":
     return trace
 
 
-def run_job(spec: JobSpec) -> "RunRecord":
-    """Build (or reuse) the trace for ``spec`` and simulate it.
+def run_job(spec) -> "RunRecord":
+    """Execute one job spec (plain, sampled, or a single sampling interval).
 
     Imports are deferred so that :mod:`repro.exec` never imports
     :mod:`repro.harness` at module level (the harness imports the engine).
+    Sampled base specs never materialise their (possibly 10M-instruction)
+    trace — the sampling driver runs interval-by-interval over regenerated
+    windows.
     """
+    if isinstance(spec, IntervalJobSpec):
+        from repro.sampling.driver import run_interval_job
+
+        return run_interval_job(spec)
+
+    if getattr(spec.settings, "sampling", None) is not None:
+        from repro.sampling.driver import run_sampled_workload
+
+        return run_sampled_workload(spec.workload, spec.config_name,
+                                    spec.settings, predictors=spec.predictors)
+
     from repro.harness.runner import run_workload
 
     trace = _trace_for(spec)

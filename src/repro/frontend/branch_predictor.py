@@ -91,6 +91,10 @@ class _CounterTable:
         elif v > 0:
             self._table[i] = v - 1
 
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the counter values."""
+        return tuple(self._table)
+
 
 class BimodalPredictor:
     """PC-indexed table of saturating counters."""
@@ -103,6 +107,9 @@ class BimodalPredictor:
 
     def update(self, pc: int, taken: bool) -> None:
         self._table.update(pc >> 2, taken)
+
+    def state_signature(self) -> tuple:
+        return self._table.state_signature()
 
 
 class GSharePredictor:
@@ -122,6 +129,9 @@ class GSharePredictor:
     def update(self, pc: int, taken: bool) -> None:
         self._table.update(self._index(pc), taken)
         self.history = ((self.history << 1) | int(taken)) & self._history_mask
+
+    def state_signature(self) -> tuple:
+        return (self._table.state_signature(), self.history)
 
 
 class HybridPredictor:
@@ -150,6 +160,12 @@ class HybridPredictor:
             self._chooser.update(pc >> 2, gshare_pred == taken)
         self.bimodal.update(pc, taken)
         self.gshare.update(pc, taken)
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of all three component tables."""
+        return (self.bimodal.state_signature(),
+                self.gshare.state_signature(),
+                self._chooser.state_signature())
 
 
 class BranchUnit:
@@ -215,3 +231,18 @@ class BranchUnit:
     @property
     def misprediction_rate(self) -> float:
         return self.mispredictions / self.predictions if self.predictions else 0.0
+
+    def reset_stats(self) -> None:
+        """Reset the activity counters, keeping all predictive state warm.
+
+        Used when functionally warmed state is imported into a detailed
+        core so per-interval reports cover only their own predictions.
+        """
+        self.predictions = 0
+        self.mispredictions = 0
+        self.btb_misses = 0
+
+    def direction_state_signature(self) -> tuple:
+        """Hashable snapshot of the direction-predictor tables (tests use
+        this to compare functionally warmed state against detailed state)."""
+        return self.direction.state_signature()

@@ -26,6 +26,7 @@ from repro.lsu.policies import (
 )
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import OutOfOrderCore, SimulationResult
+from repro.sampling.plan import SamplingPlan
 from repro.workloads.suites import DEFAULT_INSTRUCTIONS, build_workload
 
 #: The Figure 4 configuration names, in presentation order.  The ideal
@@ -59,6 +60,13 @@ class ExperimentSettings:
     variable, then serial; values <= 0 mean "all CPUs").  It is excluded
     from equality and from result-cache keys because it cannot change any
     simulated statistic — serial and parallel runs are bit-identical.
+
+    ``sampling`` switches an experiment to statistical sampling: instead of
+    simulating every instruction in detail, the run measures the plan's
+    detailed intervals (each functionally warmed) and reports merged
+    statistics plus a CPI confidence interval (see :mod:`repro.sampling`).
+    ``stats_warmup_fraction`` is ignored for sampled runs — warm-up is
+    per-interval and specified by the plan.
     """
 
     instructions: int = DEFAULT_INSTRUCTIONS
@@ -67,6 +75,7 @@ class ExperimentSettings:
     stats_warmup_fraction: float = 0.25
     core: CoreConfig = field(default_factory=CoreConfig)
     jobs: Optional[int] = field(default=None, compare=False)
+    sampling: Optional[SamplingPlan] = None
 
 
 def make_policy(name: str, sq_size: int = 64,
@@ -119,8 +128,18 @@ class RunRecord:
 def run_workload(trace: DynamicTrace, config_name: str,
                  settings: Optional[ExperimentSettings] = None,
                  predictors: Optional[PredictorSuiteConfig] = None) -> RunRecord:
-    """Simulate one trace under one named configuration."""
+    """Simulate one trace under one named configuration.
+
+    With ``settings.sampling`` set the trace is simulated by statistical
+    sampling (functional warming + detailed intervals) instead of in full
+    detail; the returned record then carries a
+    :class:`~repro.sampling.result.SampledSimulationResult`.
+    """
     settings = settings or ExperimentSettings()
+    if settings.sampling is not None:
+        from repro.sampling.driver import run_sampled_trace
+
+        return run_sampled_trace(trace, config_name, settings, predictors=predictors)
     policy = make_policy(config_name, sq_size=settings.sq_size, predictors=predictors)
     core = OutOfOrderCore(settings.core, policy)
     result = core.run(trace, stats_warmup_fraction=settings.stats_warmup_fraction)

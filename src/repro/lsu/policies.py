@@ -154,6 +154,31 @@ class SQPolicy:
     def load_committed(self, info: LoadCommitInfo) -> None:
         """Train predictors with the outcome of a committed load."""
 
+    # -- functional warming ------------------------------------------------------
+
+    def warm_store_renamed(self, store_pc: int, ssn: int) -> None:
+        """Functional-warming analogue of :meth:`store_renamed`.
+
+        Stores retire instantly during functional replay, so policies that
+        keep per-in-flight-store bookkeeping (undo logs, store-set
+        serialisation maps) update only their long-lived tables here.  The
+        default delegates to :meth:`store_renamed` and discards the undo
+        token.
+        """
+        self.store_renamed(store_pc, ssn)
+
+    def warm_load(self, load_pc: int, addr: int, size: int, dep_ssn: int,
+                  dep_pc: int, would_forward: bool, ssn_cmt: int) -> None:
+        """Train PC-indexed predictors for one functionally retired load.
+
+        ``dep_ssn``/``dep_pc`` name the youngest older store writing any
+        byte of the access (0 when none); ``would_forward`` is the
+        functional replay's in-flight-window approximation: the store is
+        close enough (in committed stores and in dynamic instructions) that
+        the detailed machine would plausibly have forwarded.  The base
+        policy trains nothing — the SVW tables are warmed by store commits.
+        """
+
     # -- wrap handling ----------------------------------------------------------
 
     def clear_ssn_state(self) -> None:
@@ -315,6 +340,32 @@ class AssociativeStoreSetsPolicy(SQPolicy):
         else:
             self.fsp.insert(info.pc, last_pc)
 
+    # -- functional warming ------------------------------------------------------
+
+    def warm_store_renamed(self, store_pc: int, ssn: int) -> None:
+        """Update the SAT (or SSIT/LFST) without per-store undo bookkeeping."""
+        if self.formulation == "original":
+            self.store_sets.store_renamed(store_pc, ssn)
+        else:
+            self.sat.update(store_pc, ssn)
+
+    def warm_load(self, load_pc: int, addr: int, size: int, dep_ssn: int,
+                  dep_pc: int, would_forward: bool, ssn_cmt: int) -> None:
+        """Learn the dependences detailed-mode violations would have taught.
+
+        In detailed mode this policy trains only when re-execution catches a
+        violation, i.e. on loads whose producing store was in flight and
+        unpredicted.  ``would_forward`` identifies exactly those loads during
+        functional replay, so the warmed tables converge to the same
+        dependence set without simulating the violations.
+        """
+        if not would_forward or dep_pc == 0:
+            return
+        if self.formulation == "original":
+            self.store_sets.train_violation(load_pc, dep_pc)
+        else:
+            self.fsp.strengthen(load_pc, dep_pc)
+
     def clear_ssn_state(self) -> None:
         super().clear_ssn_state()
         self.sat.clear()
@@ -464,6 +515,34 @@ class IndexedSQPolicy(SQPolicy):
             self.ddp.train_wrong_prediction(info.pc, max(distance, 0))
         elif not wrong_prediction:
             self.ddp.train_correct_prediction(info.pc)
+
+    # -- functional warming ------------------------------------------------------
+
+    def warm_load(self, load_pc: int, addr: int, size: int, dep_ssn: int,
+                  dep_pc: int, would_forward: bool, ssn_cmt: int) -> None:
+        """FSP/DDP warming through the *detailed* training rules.
+
+        A commit-time info record is synthesised as the detailed core would
+        have seen it — ``forwarded`` approximated by the replay's
+        ``would_forward`` signal, no violation (functional replay cannot
+        mis-speculate) — and fed to :meth:`load_committed`.  Strengthening
+        *and* the weakening rules (not-most-recent instances, writers
+        further away than the SQ) therefore apply exactly as in detailed
+        mode, which keeps the warmed FSP from over-predicting; new
+        dependences are created because ``strengthen`` inserts on a miss,
+        standing in for the violation-driven inserts of detailed mode.
+        """
+        prediction = self.predict_load(load_pc, ssn_cmt, ssn_cmt, dep_ssn)
+        info = LoadCommitInfo(
+            pc=load_pc, addr=addr, size=size,
+            spec_value=0, correct_value=0,
+            forwarded=would_forward,
+            forward_ssn=dep_ssn if would_forward else 0,
+            prediction=prediction,
+            ssn_at_rename=ssn_cmt, ssn_cmt=ssn_cmt,
+            violation=False,
+        )
+        self.load_committed(info)
 
     def clear_ssn_state(self) -> None:
         super().clear_ssn_state()

@@ -117,6 +117,15 @@ class Cache:
     def reset_stats(self) -> None:
         self.stats = CacheStats()
 
+    def resident_lines(self) -> frozenset:
+        """The set of line tags currently resident (LRU order ignored).
+
+        Functional warming replays accesses in program order while the
+        detailed core accesses out of order, so LRU *order* differs
+        slightly; the warming tests compare residency sets instead.
+        """
+        return frozenset(tag for ways in self._sets.values() for tag in ways)
+
     def flush(self) -> None:
         """Invalidate all lines (statistics are preserved)."""
         self._sets.clear()

@@ -191,10 +191,41 @@ class OutOfOrderCore:
 
         self._trace: Sequence[MicroOp] = ()
 
+    # ---------------------------------------------------------- state import --
+
+    def import_state(self, state) -> None:
+        """Adopt functionally warmed machine state before a detailed run.
+
+        ``state`` is a :class:`~repro.sampling.functional.FunctionalState`:
+        its branch unit, memory hierarchy, memory image, SSN counters, and
+        policy replace this core's freshly constructed ones, and its exact
+        last-writer map seeds the oracle dependence tracker (with a sentinel
+        sequence number of ``-1`` so flush repair can never confuse an
+        imported writer with an in-flight store).  Statistics *counters* on
+        the imported components are reset so a subsequent run reports only
+        its own activity; the predictive/tag state itself stays warm.
+        """
+        from repro.lsu.policies import PolicyStats
+        from repro.core.svw import SVWStats
+
+        self.hierarchy = state.hierarchy
+        self.memory = state.memory
+        self.branch_unit = state.branch_unit
+        self.ssn_alloc = state.ssn_alloc
+        self.policy = state.policy
+        self._last_writer = {
+            byte_addr: (-1, entry[0]) for byte_addr, entry in state.last_writer.items()}
+        self.hierarchy.reset_stats()
+        self.branch_unit.reset_stats()
+        self.policy.stats = PolicyStats()
+        self.policy.svw.stats = SVWStats()
+
     # ------------------------------------------------------------------ run --
 
     def run(self, trace: DynamicTrace, warm_memory: bool = True,
-            stats_warmup_fraction: float = 0.0) -> SimulationResult:
+            stats_warmup_fraction: float = 0.0,
+            stats_warmup_instructions: Optional[int] = None,
+            stats_measure_instructions: Optional[int] = None) -> SimulationResult:
         """Simulate ``trace`` to completion and return the result.
 
         ``stats_warmup_fraction`` discards the statistics accumulated over the
@@ -202,6 +233,17 @@ class OutOfOrderCore:
         microarchitectural state: caches, predictors, branch history), the
         same role the paper's 8% warm-up plays for its samples.  The reported
         ``cycles`` likewise cover only the measured region.
+
+        ``stats_warmup_instructions`` is the exact-count form of the same
+        knob (used by the sampling subsystem, whose detailed warm-up is
+        specified in instructions); it overrides the fraction when given.
+
+        ``stats_measure_instructions`` stops the simulation once that many
+        *post-warm-up* instructions have committed, leaving younger
+        instructions in flight.  Interval sampling uses this so a measured
+        region ends mid-steady-state (window still full) instead of
+        charging the interval for the pipeline drain that a full run would
+        have overlapped with subsequent instructions.
         """
         if not 0.0 <= stats_warmup_fraction < 1.0:
             raise ValueError("stats_warmup_fraction must be in [0, 1)")
@@ -210,7 +252,17 @@ class OutOfOrderCore:
             self._warm_caches(trace)
 
         total = len(self._trace)
-        warmup_committed = int(total * stats_warmup_fraction)
+        if stats_warmup_instructions is not None:
+            if not 0 <= stats_warmup_instructions < max(total, 1):
+                raise ValueError("stats_warmup_instructions must be in [0, len(trace))")
+            warmup_committed = stats_warmup_instructions
+        else:
+            warmup_committed = int(total * stats_warmup_fraction)
+        stop_committed = total
+        if stats_measure_instructions is not None:
+            if stats_measure_instructions <= 0:
+                raise ValueError("stats_measure_instructions must be positive")
+            stop_committed = min(total, warmup_committed + stats_measure_instructions)
         warmup_done = warmup_committed == 0
         warmup_cycle_offset = 0
         warmup_instr_offset = 0
@@ -218,7 +270,7 @@ class OutOfOrderCore:
         max_cycles = self.config.max_cycles
         idle_skip = self.config.idle_skip
 
-        while self.stats.committed < total:
+        while self.stats.committed < stop_committed:
             if idle_skip and self._ready_is_empty():
                 self._skip_idle_cycles(total, max_cycles)
             self._cycle += 1

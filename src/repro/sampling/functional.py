@@ -1,0 +1,150 @@
+"""Functional warming: fast in-order replay that trains long-lived state.
+
+The cycle-accurate core spends most of its time in per-cycle machinery
+(dispatch, wakeup heaps, completion queues).  For sampling, what matters
+between measurement intervals is only the **long-lived microarchitectural
+state**: branch direction tables, BTB, RAS, cache and TLB contents, the SVW
+tables (SSBF/SPCT), the architectural memory image, the SSN counters, and
+the PC-indexed dependence predictors (FSP/SAT, store sets, DDP).
+:class:`FunctionalWarmer` retires a trace window in program order and
+updates exactly that state, skipping the out-of-order timing model — an
+order-of-magnitude cheaper per-instruction path.
+
+Two deliberate approximations (shared by all configurations, so relative
+comparisons are preserved):
+
+* There is no in-flight window, so every store commits instantly
+  (``SSNren == SSNcmt``).  A load is treated as *would-forward* when its
+  most recent writer is within ``sq_size`` committed stores **and** within
+  ``rob_size`` dynamic instructions — the store would plausibly still have
+  been in the SQ of the detailed machine.  Policies use this signal in
+  their :meth:`~repro.lsu.policies.SQPolicy.warm_load` hook to train the
+  FSP / store sets the way detailed-mode violations and forwardings would
+  have.
+* Caches and the branch predictor are updated in program order rather than
+  in (out-of-order) execution order; the SVW tables, memory image, and SSN
+  counters are exact, because in the detailed core they are updated at
+  commit, which *is* program order.
+
+The warmed state is handed to a detailed core via
+:meth:`~repro.pipeline.core.OutOfOrderCore.import_state`, after which a
+short detailed warm-up (:class:`~repro.sampling.plan.SamplingPlan`'s *W*)
+lets the short-lived state (window occupancy, in-flight dependences, DDP
+counters) settle before measurement begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.frontend.branch_predictor import BranchUnit
+from repro.isa.uop import MicroOp
+from repro.lsu.policies import SQPolicy
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.core.ssn import SSNAllocator
+from repro.pipeline.config import CoreConfig
+
+
+@dataclass
+class FunctionalState:
+    """The long-lived machine state produced by a functional replay.
+
+    ``last_writer`` maps byte address to ``(ssn, store_pc, instr_index)`` of
+    the youngest store writing that byte (the exact analogue of the detailed
+    core's oracle last-writer tracker).
+    """
+
+    config: CoreConfig
+    branch_unit: BranchUnit
+    hierarchy: MemoryHierarchy
+    memory: MemoryImage
+    ssn_alloc: SSNAllocator
+    policy: SQPolicy
+    last_writer: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+    instructions_warmed: int = 0
+
+
+class FunctionalWarmer:
+    """Replays micro-ops in order, updating long-lived state only."""
+
+    def __init__(self, config: CoreConfig, policy: SQPolicy,
+                 start_index: int = 0) -> None:
+        self.config = config
+        self.state = FunctionalState(
+            config=config,
+            branch_unit=BranchUnit(config.branch_predictor),
+            hierarchy=MemoryHierarchy(config.memory),
+            memory=MemoryImage(),
+            ssn_alloc=SSNAllocator(bits=config.ssn_bits),
+            policy=policy,
+        )
+        #: Dynamic instruction index of the next micro-op (used for the
+        #: in-flight-window approximation; offsets into the full trace keep
+        #: the distances meaningful when warming starts mid-trace).
+        self._index = start_index
+
+    # ------------------------------------------------------------------ warm --
+
+    def warm(self, uops: Sequence[MicroOp]) -> None:
+        """Functionally retire ``uops`` in order."""
+        state = self.state
+        branch_resolve = state.branch_unit.predict_and_resolve
+        hierarchy = state.hierarchy
+        memory_write = state.memory.write
+        ssn_alloc = state.ssn_alloc
+        policy = state.policy
+        warm_store_renamed = policy.warm_store_renamed
+        store_committed = policy.store_committed
+        warm_load = policy.warm_load
+        last_writer = state.last_writer
+        sq_size = policy.sq_size
+        window_span = self.config.rob_size
+        index = self._index
+
+        for uop in uops:
+            if uop.mem is not None:
+                mem = uop.mem
+                addr = mem.addr
+                size = mem.size
+                if uop.is_load:
+                    hierarchy.load_latency(addr)
+                    best = None
+                    best_ssn = 0
+                    for byte_addr in range(addr, addr + size):
+                        entry = last_writer.get(byte_addr)
+                        if entry is not None and entry[0] > best_ssn:
+                            best_ssn = entry[0]
+                            best = entry
+                    ssn_cmt = ssn_alloc.ssn_commit
+                    if best is not None:
+                        would_forward = (ssn_cmt - best_ssn < sq_size
+                                         and index - best[2] < window_span)
+                        warm_load(uop.pc, addr, size, best_ssn, best[1],
+                                  would_forward, ssn_cmt)
+                    else:
+                        warm_load(uop.pc, addr, size, 0, 0, False, ssn_cmt)
+                else:  # store
+                    ssn = ssn_alloc.allocate()
+                    warm_store_renamed(uop.pc, ssn)
+                    memory_write(addr, size, mem.value)
+                    ssn_alloc.commit(ssn)
+                    store_committed(uop.pc, ssn, addr, size)
+                    hierarchy.store_touch(addr)
+                    entry = (ssn, uop.pc, index)
+                    for byte_addr in range(addr, addr + size):
+                        last_writer[byte_addr] = entry
+            elif uop.is_branch:
+                branch_resolve(uop.pc, uop.is_taken, uop.target,
+                               uop.hint_call, uop.hint_return)
+            index += 1
+
+        self._index = index
+        state.instructions_warmed += len(uops)
+
+    # ---------------------------------------------------------------- export --
+
+    def export_state(self) -> FunctionalState:
+        """The warmed state bundle (shared references, not a copy)."""
+        return self.state

@@ -11,14 +11,18 @@ branch predictability.  Per-benchmark profiles are calibrated against
 Table 3 of the paper (see :mod:`repro.workloads.profiles`).
 
 The public entry points are :func:`~repro.workloads.suites.build_workload`
-(one trace by name) and :func:`~repro.workloads.suites.workload_names`.
+(one trace by name), :func:`~repro.workloads.suites.build_workload_window`
+(random access to a slice of a paper-length trace, used by the sampling
+subsystem), and :func:`~repro.workloads.suites.workload_names`.
 """
 
 from repro.workloads.program import ProgramBuilder, Kernel
 from repro.workloads.profiles import WorkloadProfile, PROFILES, profiles_for_suite, get_profile
 from repro.workloads.suites import (
     ALL_SUITES,
+    TRACE_SEGMENT_UOPS,
     build_workload,
+    build_workload_window,
     build_suite,
     sensitivity_workloads,
     workload_names,
@@ -29,9 +33,11 @@ __all__ = [
     "Kernel",
     "PROFILES",
     "ProgramBuilder",
+    "TRACE_SEGMENT_UOPS",
     "WorkloadProfile",
     "build_suite",
     "build_workload",
+    "build_workload_window",
     "get_profile",
     "profiles_for_suite",
     "sensitivity_workloads",

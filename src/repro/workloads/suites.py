@@ -5,6 +5,24 @@ instantiates the kernel mix implied by the profile's knobs and interleaves
 kernel iterations until the requested dynamic instruction budget is reached.
 The mix is solved so that the fraction of loads that forward approximates
 the profile's ``forward_rate`` (calibrated to Table 3 of the paper).
+
+Traces are defined **segment-wise** so that paper-scale (10M-instruction)
+traces support random access without being materialised: a trace of length
+``N`` is the concatenation of independently composed segments of
+``TRACE_SEGMENT_UOPS`` micro-ops each.  Segment ``i`` is composed with a
+seed derived from ``(seed, i)`` against the *same static program* (static
+PCs and data regions are allocated deterministically by the profile, so
+every segment reuses the same static instructions — like successive phases
+of one looping program), which keeps PC-indexed predictor state meaningful
+across segment boundaries.  ``build_workload_window`` composes only the
+segments overlapping a requested ``[start, stop)`` window; the statistical
+sampling subsystem (:mod:`repro.sampling`) is built on it.  Traces that fit
+in a single segment are bit-identical to the old single-compose definition,
+because composition is prefix-stable: ``compose(n)`` is a prefix of
+``compose(m)`` for ``n <= m``.  Longer traces — including the 40k
+``DEFAULT_INSTRUCTIONS`` — change content at the first segment boundary;
+the result cache invalidates itself through the workload source
+fingerprint, and no test or benchmark pins multi-segment trace content.
 """
 
 from __future__ import annotations
@@ -40,6 +58,16 @@ ALL_SUITES: Tuple[str, ...] = (MEDIA, INT, FP)
 
 #: Default dynamic-instruction budget per workload used by the benchmarks.
 DEFAULT_INSTRUCTIONS = 40_000
+
+#: Length of one independently composed trace segment.  Traces up to this
+#: length are a single segment, identical to the pre-segmentation scheme
+#: (covers every existing test and the 8k benchmark default); longer traces
+#: (e.g. the 40k ``DEFAULT_INSTRUCTIONS``) change content at segment
+#: boundaries.  The value balances segment amortisation against
+#: random-access cost: a sampling interval window pays for composing its
+#: segments from their starts, so smaller segments make interval jobs
+#: cheaper.
+TRACE_SEGMENT_UOPS = 16_384
 
 
 @dataclass
@@ -162,6 +190,68 @@ class WorkloadComposer:
 
 
 # ---------------------------------------------------------------------------
+# Segmented composition
+# ---------------------------------------------------------------------------
+
+def _segment_seed(seed: int, index: int) -> int:
+    """Deterministic per-segment seed; segment 0 keeps the user's seed so
+    single-segment traces are bit-identical to the unsegmented scheme."""
+    if index == 0:
+        return seed
+    return (seed ^ (0x9E3779B97F4A7C15 * index)) & 0x7FFF_FFFF_FFFF_FFFF
+
+
+#: Per-process segment memo: (name, seed, segment index, length) -> uops.
+#: Sampling jobs for the same workload (across configurations) re-touch the
+#: same segments; memoising them keeps window regeneration cheap.
+_SEGMENT_CACHE: Dict[Tuple[str, int, int, int], List] = {}
+_SEGMENT_CACHE_LIMIT = 12
+
+
+def _compose_segment(name: str, seed: int, index: int, length: int) -> List:
+    """Compose (and memoise) segment ``index`` of a workload, truncated to
+    ``length`` micro-ops (composition is prefix-stable, so a shorter final
+    segment equals the prefix of the full segment)."""
+    key = (name, seed, index, length)
+    uops = _SEGMENT_CACHE.get(key)
+    if uops is None:
+        profile = get_profile(name)
+        composer = WorkloadComposer(profile, seed=_segment_seed(seed, index))
+        uops = composer.compose(length).uops
+        while len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_LIMIT:
+            _SEGMENT_CACHE.pop(next(iter(_SEGMENT_CACHE)))
+        _SEGMENT_CACHE[key] = uops
+    return uops
+
+
+def build_workload_window(name: str, instructions: int, seed: int,
+                          start: int, stop: int) -> List:
+    """Micro-ops ``[start, stop)`` of the workload's trace, composing only
+    the segments that overlap the window.
+
+    Equivalent to ``build_workload(name, instructions, seed).uops[start:stop]``
+    but with cost proportional to the window's segment span rather than to
+    ``instructions``; this is what lets interval-sampling jobs regenerate
+    their slice of a 10M-instruction trace without materialising it.
+    """
+    if not 0 <= start <= stop <= instructions:
+        raise ValueError(f"window [{start}, {stop}) outside trace [0, {instructions})")
+    segment = TRACE_SEGMENT_UOPS
+    uops: List = []
+    for index in range(start // segment, (max(stop - 1, start)) // segment + 1):
+        seg_base = index * segment
+        seg_len = min(segment, instructions - seg_base)
+        if seg_len <= 0:
+            break
+        seg_uops = _compose_segment(name, seed, index, seg_len)
+        lo = max(start - seg_base, 0)
+        hi = min(stop - seg_base, seg_len)
+        if hi > lo:
+            uops.extend(seg_uops[lo:hi] if (lo, hi) != (0, seg_len) else seg_uops)
+    return uops
+
+
+# ---------------------------------------------------------------------------
 # Public entry points
 # ---------------------------------------------------------------------------
 
@@ -179,10 +269,17 @@ def sensitivity_workloads() -> List[str]:
 
 def build_workload(name: str, instructions: int = DEFAULT_INSTRUCTIONS,
                    seed: int = 1) -> DynamicTrace:
-    """Build the proxy trace for one named benchmark."""
-    profile = get_profile(name)
-    composer = WorkloadComposer(profile, seed=seed)
-    return composer.compose(instructions)
+    """Build the proxy trace for one named benchmark.
+
+    The trace is the concatenation of its ``TRACE_SEGMENT_UOPS``-long
+    segments (see the module docstring); traces that fit in one segment are
+    bit-identical to a direct single compose.
+    """
+    if instructions <= 0:
+        raise ValueError("instruction budget must be positive")
+    return DynamicTrace(
+        name=name,
+        uops=build_workload_window(name, instructions, seed, 0, instructions))
 
 
 def build_suite(suite: str, instructions: int = DEFAULT_INSTRUCTIONS,
