@@ -14,9 +14,14 @@ Honours the same environment knobs as the pytest benchmarks
 (``REPRO_BENCH_INSTRUCTIONS``, ``REPRO_BENCH_WORKLOADS``, ``REPRO_JOBS``,
 ``REPRO_CACHE``, ``REPRO_CACHE_DIR``; see ``benchmarks/conftest.py``) plus
 the sampling-bench lengths (``REPRO_BENCH_SAMPLING_INSTRUCTIONS`` for the
-matched-count speedup comparison, ``REPRO_BENCH_SAMPLED_INSTRUCTIONS`` for
-the paper-scale sampled artifact).  Every ``BENCH_*.json`` records the CPU
-count and the ``REPRO_*`` knobs in effect alongside its metrics.
+matched-count speedup comparison, ``REPRO_BENCH_CHECKPOINT_INSTRUCTIONS``
+for the checkpointed-sweep comparison, and
+``REPRO_BENCH_SAMPLED_INSTRUCTIONS`` for the paper-scale sampled artifact).
+``REPRO_BENCH_ONLY`` (comma-separated bench names, e.g.
+``REPRO_BENCH_ONLY=sampling,engine``) regenerates a subset of the
+trajectory files without paying for the rest.  Every ``BENCH_*.json``
+records the CPU count and the ``REPRO_*`` knobs in effect alongside its
+metrics.
 """
 
 import os
@@ -35,7 +40,9 @@ from _common import (  # noqa: E402
 )
 from bench_engine_speedup import measure_engine_speedup  # noqa: E402
 from bench_sampling_speedup import (  # noqa: E402
+    assert_checkpointed_sweep,
     assert_speedup,
+    measure_checkpointed_sweep,
     measure_sampled_artifact,
     measure_sampling_speedup,
 )
@@ -135,15 +142,20 @@ def bench_engine(_engine: ExperimentEngine) -> dict:
 
 
 def bench_sampling(_engine: ExperimentEngine) -> dict:
-    """Sampling speedup at matched counts + a paper-scale sampled artifact.
+    """Sampling speedup, the checkpointed sweep, and the paper-scale artifact.
 
     The matched-count half simulates the same (workload, configuration)
-    both ways and asserts the >= ~10x win; the artifact half runs a
+    both ways and asserts the >= ~10x win of bounded-warming sampling; the
+    checkpointed-sweep half runs a multi-configuration sweep bounded vs
+    checkpointed and asserts the amortised single-pass warming is at least
+    as fast (while carrying full history); the artifact half runs a
     10M-instruction Figure-4 cell sampled-only (relative time with a
     confidence interval) — the scale the subsystem exists to reach.
     """
     speedup = measure_sampling_speedup()
     assert_speedup(speedup)
+    checkpointed_sweep = measure_checkpointed_sweep()
+    assert_checkpointed_sweep(checkpointed_sweep)
     artifact = measure_sampled_artifact()
     assert artifact["intervals"] >= 2, artifact
     assert artifact["relative_time_ci_halfwidth"] > 0.0, artifact
@@ -154,7 +166,8 @@ def bench_sampling(_engine: ExperimentEngine) -> dict:
         assert artifact["intervals"] >= 10, artifact
         assert artifact["relative_time_ci_halfwidth"] < 0.25 * artifact["relative_time"], artifact
         assert 0.7 < artifact["relative_time"] < 1.4, artifact
-    return {"speedup": speedup, "artifact": artifact}
+    return {"speedup": speedup, "checkpointed_sweep": checkpointed_sweep,
+            "artifact": artifact}
 
 
 BENCHES = (
@@ -174,8 +187,16 @@ def main() -> int:
     # caching win is measured explicitly (and its bit-identity asserted) by
     # the "engine" bench below.
     engine = ExperimentEngine.from_settings(_settings(), cache=False)
+    only = {name.strip() for name in
+            os.environ.get("REPRO_BENCH_ONLY", "").split(",") if name.strip()}
+    benches = [(name, bench) for name, bench in BENCHES
+               if not only or name in only]
+    unknown = only - {name for name, _ in BENCHES}
+    if unknown:
+        print(f"REPRO_BENCH_ONLY names unknown benches: {sorted(unknown)}")
+        return 1
     failures = 0
-    for name, bench in BENCHES:
+    for name, bench in benches:
         start = time.perf_counter()
         try:
             metrics = bench(engine)

@@ -19,7 +19,7 @@ lookup, strengthen, weaken, and insert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.predictors import FSPConfig

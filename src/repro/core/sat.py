@@ -130,6 +130,10 @@ class StoreAliasTable:
         """Copy of the table contents (tests and diagnostics)."""
         return list(self._table)
 
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the table contents (exact)."""
+        return tuple(self._table)
+
     def storage_bits(self, ssn_bits: int = 16) -> int:
         """Approximate storage cost in bits."""
         return ssn_bits * self.config.entries

@@ -39,6 +39,13 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Settings fields that steer *execution*, not simulation semantics.
 _EXECUTION_ONLY_FIELDS = ("jobs",)
 
+#: Settings fields whose raw value may mean "environment default" and is
+#: therefore resolved before keying: ``checkpoints`` becomes the effective
+#: ``checkpointed`` flag stamped on interval specs (see :func:`job_key`), so
+#: two runs that resolve differently never share an entry and two spellings
+#: of the same resolution never miss.
+_RESOLVED_FIELDS = ("checkpoints",)
+
 
 def _canonical(obj: Any) -> Any:
     """JSON-able canonical form of a (possibly nested) config dataclass."""
@@ -46,7 +53,7 @@ def _canonical(obj: Any) -> Any:
         return None
     if dataclasses.is_dataclass(obj):
         data = dataclasses.asdict(obj)
-        for name in _EXECUTION_ONLY_FIELDS:
+        for name in _EXECUTION_ONLY_FIELDS + _RESOLVED_FIELDS:
             data.pop(name, None)
         return data
     return obj
@@ -72,6 +79,13 @@ def job_key(spec: "JobSpec") -> str:  # noqa: F821 - typing only
     interval_index = getattr(spec, "interval_index", None)
     if interval_index is not None:
         payload["interval_index"] = interval_index
+    # Checkpointed warming changes the simulated result (full-history warm
+    # state instead of bounded warming), so the *resolved* flag is part of
+    # the key; the store location is not (content-addressed snapshots are
+    # location-independent).  Omitted when False so every pre-checkpoint
+    # cache entry stays valid.
+    if getattr(spec, "checkpointed", False):
+        payload["checkpointed"] = True
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
 

@@ -15,6 +15,15 @@ using three layers:
   :class:`~repro.sampling.plan.SamplingPlan` are expanded into per-interval
   jobs before the cache/pool pass and merged back afterwards, so sampled
   sweeps parallelise and memoize at interval granularity.
+* **checkpoint generation** — sampled specs that resolve to checkpointed
+  warming (``settings.checkpoints`` / ``REPRO_CHECKPOINTS``, see
+  :mod:`repro.sampling.checkpoints`) get a generation stage between the
+  cache probe and the fan-out: for each workload group with cache-missed
+  intervals, one full functional pass warms every missing configuration
+  simultaneously and snapshots each interval start into the checkpoint
+  store; the interval jobs then load snapshots instead of re-warming.
+  Groups with a warm store skip generation entirely (the amortisation
+  across configurations, sweeps, and runs).
 
 Environment knobs:
 
@@ -26,6 +35,9 @@ Environment knobs:
 ``REPRO_CACHE_DIR``
     Cache directory (default ``.repro-cache/`` in the working directory).
     Safe to delete at any time: ``rm -rf .repro-cache/``.
+``REPRO_CHECKPOINTS`` / ``REPRO_CHECKPOINT_DIR``
+    Checkpointed-warming default for sampled specs and the snapshot-store
+    location (default ``.repro-checkpoints/``; safe to delete at any time).
 """
 
 from __future__ import annotations
@@ -69,7 +81,8 @@ class ExperimentEngine:
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Union[None, bool, ResultCache] = None,
-                 cache_dir: Optional[os.PathLike] = None) -> None:
+                 cache_dir: Optional[os.PathLike] = None,
+                 checkpoint_dir: Optional[os.PathLike] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
@@ -81,17 +94,26 @@ class ExperimentEngine:
             self.cache = ResultCache(cache_dir)
         else:
             self.cache = None
+        #: Checkpoint-store location for sampled specs that resolve to
+        #: checkpointed warming (None = REPRO_CHECKPOINT_DIR / default).
+        #: Whether checkpointing is *used* is a property of the settings,
+        #: not of the engine, so every execution path resolves it the same
+        #: way and stays bit-identical.
+        self.checkpoint_dir = checkpoint_dir
         #: Statistics of the most recent :meth:`run` call.
         self.last_run_stats: Dict[str, int] = {}
+        self._checkpoint_stats: Dict[str, int] = {}
 
     @classmethod
     def from_settings(cls, settings, jobs: Optional[int] = None,
                       cache: Union[None, bool, ResultCache] = None,
-                      cache_dir: Optional[os.PathLike] = None) -> "ExperimentEngine":
+                      cache_dir: Optional[os.PathLike] = None,
+                      checkpoint_dir: Optional[os.PathLike] = None) -> "ExperimentEngine":
         """Build an engine honouring ``settings.jobs`` (then ``REPRO_JOBS``)."""
         if jobs is None:
             jobs = getattr(settings, "jobs", None)
-        return cls(jobs=jobs, cache=cache, cache_dir=cache_dir)
+        return cls(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                   checkpoint_dir=checkpoint_dir)
 
     # ----------------------------------------------------------------- running --
 
@@ -125,13 +147,24 @@ class ExperimentEngine:
 
     def _run_expanding_sampled(self, specs: Sequence[JobSpec],
                                chunksize: Optional[int]) -> List["RunRecord"]:  # noqa: F821
+        from repro.sampling.checkpoints import CheckpointStore, resolve_checkpointed
         from repro.sampling.driver import expand_sampled_spec, merge_interval_records
 
         flat: List = []
         layout: List[tuple] = []  # (base spec or None, start, count)
+        checkpoint_dir: Optional[str] = None
+        any_checkpointed = False
         for spec in specs:
             if self._is_sampled_spec(spec):
-                intervals = expand_sampled_spec(spec)
+                checkpointed = resolve_checkpointed(spec.settings)
+                if checkpointed:
+                    any_checkpointed = True
+                    if checkpoint_dir is None:
+                        checkpoint_dir = str(
+                            CheckpointStore(self.checkpoint_dir).directory)
+                intervals = expand_sampled_spec(
+                    spec, checkpointed=checkpointed,
+                    checkpoint_dir=checkpoint_dir if checkpointed else None)
                 layout.append((spec, len(flat), len(intervals)))
                 flat.extend(intervals)
             else:
@@ -139,7 +172,9 @@ class ExperimentEngine:
                 flat.append(spec)
         # Caller chunksize heuristics target the unexpanded grid; let the
         # default heuristic balance the (much longer) interval list instead.
-        flat_records = self._execute(flat, None)
+        self._checkpoint_stats = {}
+        before_run = self._generate_checkpoints if any_checkpointed else None
+        flat_records = self._execute(flat, None, before_run=before_run)
         results: List["RunRecord"] = []
         for base_spec, start, count in layout:
             if base_spec is None:
@@ -149,11 +184,56 @@ class ExperimentEngine:
                     base_spec, flat_records[start:start + count]))
         self.last_run_stats["sampled_specs"] = sum(
             1 for base_spec, _, _ in layout if base_spec is not None)
+        self.last_run_stats.update(self._checkpoint_stats)
         return results
 
+    def _generate_checkpoints(self, pending_specs: Sequence) -> None:
+        """The checkpoint-generation stage (runs on cache-missed intervals).
+
+        Probes the store for every (workload group, configuration) the
+        pending checkpointed intervals need, then runs one full-trace
+        functional pass per group with anything missing — fanned out over
+        the pool when several groups (i.e. workloads) need generating.
+        Intervals served from the result cache never trigger generation.
+        """
+        from repro.sampling.checkpoints import (
+            CheckpointStore,
+            plan_generation,
+            run_checkpoint_job,
+        )
+
+        checkpointed = [spec for spec in pending_specs
+                        if getattr(spec, "checkpointed", False)]
+        if not checkpointed:
+            return
+        store = CheckpointStore(checkpointed[0].checkpoint_dir
+                                or self.checkpoint_dir)
+        requests, total_identities = plan_generation(store, checkpointed)
+        generated = sum(len(request.identities) for request in requests)
+        if requests:
+            if self.jobs > 1 and len(requests) > 1:
+                with self._pool(min(self.jobs, len(requests))) as pool:
+                    for _ in pool.imap_unordered(run_checkpoint_job, requests):
+                        pass
+            else:
+                for request in requests:
+                    run_checkpoint_job(request)
+        self._checkpoint_stats = {
+            "checkpoint_identities": total_identities,
+            "checkpoint_generated": generated,
+            "checkpoint_reused": total_identities - generated,
+            "checkpoint_passes": len(requests),
+        }
+
     def _execute(self, specs: List[JobSpec],
-                 chunksize: Optional[int] = None) -> List["RunRecord"]:  # noqa: F821
-        """Run already-expanded specs through the cache + pool machinery."""
+                 chunksize: Optional[int] = None,
+                 before_run=None) -> List["RunRecord"]:  # noqa: F821
+        """Run already-expanded specs through the cache + pool machinery.
+
+        ``before_run`` (when given) is called with the cache-missed specs
+        right before they are simulated — the hook point for the
+        checkpoint-generation stage.
+        """
         results: List[Optional["RunRecord"]] = [None] * len(specs)
 
         pending_indices: List[int] = []
@@ -170,6 +250,9 @@ class ExperimentEngine:
                     pending_indices.append(i)
         else:
             pending_indices = list(range(len(specs)))
+
+        if pending_indices and before_run is not None:
+            before_run([specs[i] for i in pending_indices])
 
         workers = min(self.jobs, len(pending_indices)) if pending_indices else 0
         if workers > 1:

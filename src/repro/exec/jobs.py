@@ -49,6 +49,14 @@ class IntervalJobSpec:
     functionally warms a fresh machine over the window prefix, and then
     simulates the detailed warm-up + measured region.  ``settings.sampling``
     must be the plan the interval index refers to.
+
+    With ``checkpointed`` set (stamped by the engine or the sampling driver
+    after resolving ``settings.checkpoints`` / ``REPRO_CHECKPOINTS``), the
+    worker instead loads the interval's full-history snapshot from the
+    checkpoint store (:mod:`repro.sampling.checkpoints`) and simulates only
+    the detailed warm-up + measured region.  The flag is part of the result
+    cache key (it changes the simulated statistics); ``checkpoint_dir`` is
+    not (snapshots are content-addressed, their location is irrelevant).
     """
 
     workload: str
@@ -56,6 +64,8 @@ class IntervalJobSpec:
     settings: "ExperimentSettings"
     interval_index: int
     predictors: Optional["PredictorSuiteConfig"] = None
+    checkpointed: bool = False
+    checkpoint_dir: Optional[str] = None
 
 
 #: Per-process trace memo: (name, instructions, seed) -> DynamicTrace.  Kept

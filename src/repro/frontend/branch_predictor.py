@@ -246,3 +246,10 @@ class BranchUnit:
         """Hashable snapshot of the direction-predictor tables (tests use
         this to compare functionally warmed state against detailed state)."""
         return self.direction.state_signature()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the whole front end (direction + BTB + RAS);
+        used to assert checkpoint export/import round trips are exact."""
+        return (self.direction.state_signature(),
+                self.btb.state_signature(),
+                self.ras.state_signature())

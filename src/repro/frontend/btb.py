@@ -72,3 +72,9 @@ class BranchTargetBuffer:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the full BTB contents (tags, targets, LRU
+        order); used by the checkpoint round-trip tests."""
+        return tuple(sorted((index, tuple(ways))
+                            for index, ways in self._sets.items() if ways))

@@ -44,3 +44,7 @@ class ReturnAddressStack:
 
     def clear(self) -> None:
         self._stack.clear()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the stack contents (oldest first)."""
+        return tuple(self._stack)

@@ -67,6 +67,16 @@ class ExperimentSettings:
     statistics plus a CPI confidence interval (see :mod:`repro.sampling`).
     ``stats_warmup_fraction`` is ignored for sampled runs — warm-up is
     per-interval and specified by the plan.
+
+    ``checkpoints`` selects how sampled intervals are warmed: ``True`` loads
+    full-history snapshots from the checkpoint store
+    (:mod:`repro.sampling.checkpoints`; one O(N) functional pass per
+    workload, amortised across every configuration of a sweep), ``False``
+    forces the plan's bounded per-interval functional warming, and ``None``
+    (the default) follows the ``REPRO_CHECKPOINTS`` environment knob
+    (enabled unless set to ``0``).  The *resolved* choice is a simulation
+    knob (it changes the warm state intervals start from, and therefore the
+    statistics) and is part of interval result-cache keys.
     """
 
     instructions: int = DEFAULT_INSTRUCTIONS
@@ -76,6 +86,7 @@ class ExperimentSettings:
     core: CoreConfig = field(default_factory=CoreConfig)
     jobs: Optional[int] = field(default=None, compare=False)
     sampling: Optional[SamplingPlan] = None
+    checkpoints: Optional[bool] = None
 
 
 def make_policy(name: str, sq_size: int = 64,

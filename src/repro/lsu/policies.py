@@ -16,8 +16,8 @@ agnostic: it calls the methods below at decode/rename, execute, and commit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.fsp import ForwardingStorePredictor
 from repro.core.ddp import DelayDistancePredictor
@@ -178,6 +178,17 @@ class SQPolicy:
         the detailed machine would plausibly have forwarded.  The base
         policy trains nothing — the SVW tables are warmed by store commits.
         """
+
+    # -- state snapshots --------------------------------------------------------
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the policy's long-lived predictor state.
+
+        Subclasses extend the tuple with their own structures; the
+        checkpoint round-trip tests assert that serialising and re-importing
+        warmed state preserves the signature exactly.
+        """
+        return (self.name, self.svw.state_signature())
 
     # -- wrap handling ----------------------------------------------------------
 
@@ -370,6 +381,13 @@ class AssociativeStoreSetsPolicy(SQPolicy):
         super().clear_ssn_state()
         self.sat.clear()
 
+    def state_signature(self) -> tuple:
+        if self.formulation == "original":
+            return super().state_signature() + (
+                self.store_sets.ssit_signature(),)
+        return super().state_signature() + (
+            self.fsp.state_signature(), self.sat.state_signature())
+
 
 # ---------------------------------------------------------------------------
 # The paper's contribution: the speculative indexed SQ
@@ -547,3 +565,8 @@ class IndexedSQPolicy(SQPolicy):
     def clear_ssn_state(self) -> None:
         super().clear_ssn_state()
         self.sat.clear()
+
+    def state_signature(self) -> tuple:
+        return super().state_signature() + (
+            self.fsp.state_signature(), self.sat.state_signature(),
+            self.ddp.state_signature())

@@ -20,7 +20,7 @@ comparison (and ultimately load re-execution) makes that safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.ssn import sq_index

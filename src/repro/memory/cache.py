@@ -8,7 +8,7 @@ load-to-use latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 
@@ -129,6 +129,16 @@ class Cache:
     def flush(self) -> None:
         """Invalidate all lines (statistics are preserved)."""
         self._sets.clear()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the full contents *including* LRU order.
+
+        Stricter than :meth:`resident_lines`: used where exactness is the
+        contract (checkpoint export/import round trips), not where
+        program-order vs execution-order reordering is expected.
+        """
+        return tuple(sorted((index, tuple(ways))
+                            for index, ways in self._sets.items() if ways))
 
 
 #: Default cache configurations from Section 4.1 of the paper.

@@ -8,7 +8,7 @@ unit.  Latencies follow Section 4.1 of the paper: 3-cycle L1, 10-cycle L2,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.memory.cache import Cache, CacheConfig, DEFAULT_L1_CONFIG, DEFAULT_L2_CONFIG
@@ -101,3 +101,9 @@ class MemoryHierarchy:
         self.l1.reset_stats()
         self.l2.reset_stats()
         self.tlb.reset_stats()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of L1 + L2 + TLB contents (exact, LRU order
+        included); used by the checkpoint round-trip tests."""
+        return (self.l1.state_signature(), self.l2.state_signature(),
+                self.tlb.state_signature())

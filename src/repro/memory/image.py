@@ -79,3 +79,7 @@ class MemoryImage:
     def clear(self) -> None:
         """Discard all written bytes."""
         self._bytes.clear()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of every explicitly written byte."""
+        return tuple(sorted(self._bytes.items()))

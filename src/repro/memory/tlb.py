@@ -60,3 +60,7 @@ class TLB:
 
     def flush(self) -> None:
         self._cache.flush()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the cached page numbers (with LRU order)."""
+        return self._cache.state_signature()

@@ -220,6 +220,36 @@ class OutOfOrderCore:
         self.policy.stats = PolicyStats()
         self.policy.svw.stats = SVWStats()
 
+    def export_state(self):
+        """Export the core's long-lived state, symmetric to :meth:`import_state`.
+
+        Returns a :class:`~repro.sampling.functional.FunctionalState` bundling
+        the live branch unit, memory hierarchy, memory image, SSN counters,
+        policy, and oracle last-writer map — everything a subsequent
+        :meth:`import_state` (on this or another core) adopts.  Serialising
+        the bundle (the checkpoint store pickles it) freezes a copy.
+
+        Intended for a *drained* core (between runs): in-flight window state
+        (ROB/IQ/LQ/SQ occupancy, pending completions) is short-lived by
+        design and is not exported.  The exported last-writer map keeps each
+        byte's youngest writer SSN; the writer's PC and dynamic index are
+        not tracked per byte by the detailed core and are exported as
+        ``(0, -1)`` sentinels — :meth:`import_state` only consumes the SSN.
+        """
+        from repro.sampling.functional import FunctionalState
+
+        return FunctionalState(
+            config=self.config,
+            branch_unit=self.branch_unit,
+            hierarchy=self.hierarchy,
+            memory=self.memory,
+            ssn_alloc=self.ssn_alloc,
+            policy=self.policy,
+            last_writer={byte_addr: (entry[1], 0, -1)
+                         for byte_addr, entry in self._last_writer.items()},
+            instructions_warmed=self.stats.committed,
+        )
+
     # ------------------------------------------------------------------ run --
 
     def run(self, trace: DynamicTrace, warm_memory: bool = True,
@@ -266,6 +296,8 @@ class OutOfOrderCore:
         warmup_done = warmup_committed == 0
         warmup_cycle_offset = 0
         warmup_instr_offset = 0
+        warmup_l1_misses = 0
+        warmup_l2_misses = 0
         last_commit_cycle = 0
         max_cycles = self.config.max_cycles
         idle_skip = self.config.idle_skip
@@ -286,6 +318,8 @@ class OutOfOrderCore:
                 warmup_done = True
                 warmup_cycle_offset = self._cycle
                 warmup_instr_offset = self.stats.committed
+                warmup_l1_misses = self.hierarchy.stats.l1_misses
+                warmup_l2_misses = self.hierarchy.stats.l2_misses
                 preserved_committed = self.stats.committed
                 self.stats = SimStats()
                 self.stats.committed = preserved_committed
@@ -302,10 +336,13 @@ class OutOfOrderCore:
             if max_cycles is not None and self._cycle >= max_cycles:
                 break
 
-        # Report only the measured (post-warm-up) region.
+        # Report only the measured (post-warm-up) region — the miss
+        # counters subtract the warm-up share so every SimStats field
+        # covers exactly the same instructions (the hierarchy's own stats
+        # stay cumulative for the run and feed the l1_miss_rate extra).
         self.stats.committed -= warmup_instr_offset
-        self.stats.l1_misses = self.hierarchy.stats.l1_misses
-        self.stats.l2_misses = self.hierarchy.stats.l2_misses
+        self.stats.l1_misses = self.hierarchy.stats.l1_misses - warmup_l1_misses
+        self.stats.l2_misses = self.hierarchy.stats.l2_misses - warmup_l2_misses
         extra = {
             "branch_misprediction_rate": self.branch_unit.misprediction_rate,
             "svw_reexecution_rate": self.policy.svw.stats.reexecution_rate,

@@ -10,7 +10,7 @@ the same log-based repair the paper describes for the SAT.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.isa.registers import REG_ZERO, TOTAL_REG_COUNT, validate_reg
 

@@ -10,7 +10,7 @@ flush.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, Iterator, List, Optional, TypeVar
+from typing import Deque, Iterator, List, TypeVar
 
 T = TypeVar("T")
 

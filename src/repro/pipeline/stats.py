@@ -8,7 +8,7 @@ re-execution rate) used by tests and the EXPERIMENTS.md narrative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -1,0 +1,465 @@
+"""Checkpointed functional warming: one O(N) pass per workload, shared on disk.
+
+Bounded functional warming (PR 2) keeps sampled runs ``O(sampled)`` but
+cannot reproduce machine history older than its horizon, which leaves a
+recorded lukewarm CPI bias on cache-heavy workloads at paper-scale counts.
+This module removes that bias at amortised cost: a **single full-trace
+functional pass per workload** serialises the warmed machine state at every
+interval start into a content-addressed on-disk **checkpoint store**, and
+every interval job of every configuration in a sweep then *loads* its
+snapshot (via :meth:`~repro.pipeline.core.OutOfOrderCore.import_state`)
+instead of re-warming.  Because snapshots carry full history, the remaining
+error is detailed-warmup-only — the faithful SMARTS configuration — while
+the O(N) replay is paid once per workload rather than once per
+``(configuration, interval)``.
+
+Storage layout (one pickle per entry, exactly like the result cache):
+
+* **shared snapshots** — branch predictor/BTB/RAS, caches/TLB, memory
+  image, SSN counters, and the oracle last-writer map are identical for
+  every store-queue configuration, so they are stored once per
+  ``(workload, plan, core config, interval)``.
+* **policy snapshots** — the per-configuration predictor state (SVW tables,
+  FSP/SAT, store sets, DDP) is stored per ``(configuration, sq_size,
+  predictor overrides)`` on top of the shared key.  One
+  :class:`~repro.sampling.functional.FunctionalWarmer` pass warms *all*
+  missing configurations simultaneously (the shared structures update once
+  per micro-op).
+* **trace windows** — the same store memoises each interval's composed
+  detailed-window micro-ops (written during the generation pass, tiny next
+  to the segments they straddle), so checkpointed interval jobs stop
+  re-emitting trace content entirely; whole 16384-uop segments can also be
+  memoised by explicit opt-in (``build_workload_window(...,
+  disk_memo=True)`` in :mod:`repro.workloads.suites`).
+
+Keys cover the trace identity, the sampling plan, the core configuration,
+and SHA-256 fingerprints of the workload-generator and simulator sources —
+editing a simulator source or changing the plan invalidates every snapshot
+automatically, so restoring a stale store (e.g. from a CI cache) is always
+safe.  Corrupt or truncated snapshot files are repaired in place: the
+affected interval recomputes the exact same full-history state in-process
+(never a silently-lukewarm result, never a crash).
+
+Environment knobs::
+
+    REPRO_CHECKPOINTS=0       # disable (sampled runs fall back to bounded
+                              # functional warming, the PR 2 behaviour)
+    REPRO_CHECKPOINT_DIR=...  # store location, default .repro-checkpoints/
+                              # (safe to delete at any time)
+
+``ExperimentSettings.checkpoints`` overrides the environment per run
+(``None`` means "follow ``REPRO_CHECKPOINTS``").
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.exec import fingerprint as _fingerprint
+from repro.exec.cache import ResultCache, _canonical
+from repro.sampling.functional import FunctionalState, FunctionalWarmer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.predictors import PredictorSuiteConfig
+    from repro.harness.runner import ExperimentSettings
+
+#: Bumped when the snapshot payload layout changes incompatibly.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Default store directory (relative to the current working directory).
+DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+#: A policy identity: (configuration name, SQ size, predictor overrides).
+PolicyIdentity = Tuple[str, int, Optional["PredictorSuiteConfig"]]
+
+
+def checkpoints_enabled() -> bool:
+    """Whether checkpointed warming is enabled by the environment."""
+    return os.environ.get("REPRO_CHECKPOINTS", "1").strip() != "0"
+
+
+def resolve_checkpointed(settings) -> bool:
+    """Whether a sampled run with ``settings`` uses checkpointed warming.
+
+    ``settings.checkpoints`` wins when not ``None``; otherwise the
+    ``REPRO_CHECKPOINTS`` environment default applies.  Never true for
+    non-sampled settings.
+    """
+    if getattr(settings, "sampling", None) is None:
+        return False
+    explicit = getattr(settings, "checkpoints", None)
+    if explicit is None:
+        return checkpoints_enabled()
+    return bool(explicit)
+
+
+class CheckpointStore(ResultCache):
+    """Content-addressed snapshot/segment store (pickle per entry).
+
+    Reuses the result cache's atomic-write/corruption-tolerant blob
+    machinery under its own default directory and environment knob.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        super().__init__(directory
+                         or os.environ.get("REPRO_CHECKPOINT_DIR")
+                         or DEFAULT_CHECKPOINT_DIR)
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence check (no deserialisation; corruption is only
+        discovered — and repaired — at load time)."""
+        return self._path(key).exists()
+
+
+# --------------------------------------------------------------------- keys --
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _shared_payload(workload: str, settings: "ExperimentSettings") -> dict:
+    """The configuration-independent part of every snapshot key."""
+    plan = _canonical(settings.sampling)
+    if isinstance(plan, dict):
+        # Snapshots cover [0, detailed_start) and windows
+        # [detailed_start, measure_end + overrun): neither depends on the
+        # bounded-warming horizon, so toggling that knob (e.g. to compare
+        # the bounded mode) must not invalidate the store.
+        plan.pop("functional_warmup", None)
+    return {
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "workload": workload,
+        "instructions": settings.instructions,
+        "seed": settings.seed,
+        "plan": plan,
+        "core": _canonical(settings.core),
+        "trace_sources": _fingerprint.workload_fingerprint(),
+        "simulator_sources": _fingerprint.simulator_fingerprint(),
+    }
+
+
+def shared_key(workload: str, settings: "ExperimentSettings",
+               interval_index: int) -> str:
+    """Key of the shared (configuration-independent) snapshot of one interval."""
+    payload = _shared_payload(workload, settings)
+    payload["kind"] = "functional-shared"
+    payload["interval"] = interval_index
+    return _digest(payload)
+
+
+def policy_key(workload: str, settings: "ExperimentSettings",
+               identity: PolicyIdentity, interval_index: int) -> str:
+    """Key of one configuration's policy snapshot of one interval."""
+    config_name, sq_size, predictors = identity
+    payload = _shared_payload(workload, settings)
+    payload["kind"] = "functional-policy"
+    payload["interval"] = interval_index
+    payload["config"] = config_name
+    payload["sq_size"] = sq_size
+    payload["predictors"] = _canonical(predictors)
+    return _digest(payload)
+
+
+def segment_key(name: str, seed: int, index: int, length: int) -> str:
+    """Key of one composed trace segment (workload sources fingerprinted)."""
+    return _digest({
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "kind": "trace-segment",
+        "workload": name,
+        "seed": seed,
+        "segment": index,
+        "length": length,
+        "trace_sources": _fingerprint.workload_fingerprint(),
+    })
+
+
+def window_key(workload: str, settings: "ExperimentSettings",
+               interval_index: int) -> str:
+    """Key of one interval's composed detailed-window micro-ops.
+
+    A checkpointed interval simulates only ``[detailed_start, measure_end +
+    overrun)`` — a small fraction of a 16384-uop segment — so the
+    generation pass memoises exactly that slice; interval jobs then load a
+    few thousand micro-ops instead of composing (or unpickling) every
+    overlapping segment.  This is the hot-loop fix for the window
+    regeneration cost that dominated interval jobs.
+    """
+    payload = _shared_payload(workload, settings)
+    payload["kind"] = "trace-window"
+    payload["interval"] = interval_index
+    return _digest(payload)
+
+
+def segment_store() -> Optional[CheckpointStore]:
+    """The store used for the on-disk trace-segment memo, or ``None`` when
+    checkpointing is disabled by the environment."""
+    if not checkpoints_enabled():
+        return None
+    return CheckpointStore()
+
+
+# ---------------------------------------------------------------- snapshots --
+
+@dataclass
+class SharedWarmState:
+    """The configuration-independent half of a functional snapshot."""
+
+    branch_unit: object
+    hierarchy: object
+    memory: object
+    ssn_alloc: object
+    last_writer: Dict[int, Tuple[int, int, int]]
+    instructions_warmed: int
+
+
+def _shared_snapshot(state: FunctionalState) -> SharedWarmState:
+    return SharedWarmState(
+        branch_unit=state.branch_unit,
+        hierarchy=state.hierarchy,
+        memory=state.memory,
+        ssn_alloc=state.ssn_alloc,
+        last_writer=state.last_writer,
+        instructions_warmed=state.instructions_warmed,
+    )
+
+
+def _assemble(settings: "ExperimentSettings", shared: SharedWarmState,
+              policy) -> FunctionalState:
+    return FunctionalState(
+        config=settings.core,
+        branch_unit=shared.branch_unit,
+        hierarchy=shared.hierarchy,
+        memory=shared.memory,
+        ssn_alloc=shared.ssn_alloc,
+        policy=policy,
+        last_writer=shared.last_writer,
+        instructions_warmed=shared.instructions_warmed,
+    )
+
+
+# --------------------------------------------------------------- generation --
+
+@dataclass(frozen=True)
+class CheckpointJobSpec:
+    """One checkpoint-generation pass, described by value (pool-friendly).
+
+    ``identities`` names the policy snapshots to produce (may be empty when
+    only the shared snapshots are missing); ``write_shared`` asks for the
+    shared snapshots too.  The pass always replays the full warming prefix
+    once, warming every listed policy simultaneously.
+    """
+
+    workload: str
+    settings: "ExperimentSettings"
+    identities: Tuple[PolicyIdentity, ...]
+    write_shared: bool
+    directory: str
+
+
+def _identity_token(identity: PolicyIdentity) -> str:
+    config_name, sq_size, predictors = identity
+    return json.dumps({"config": config_name, "sq_size": sq_size,
+                       "predictors": _canonical(predictors)},
+                      sort_keys=True, default=repr)
+
+
+def plan_generation(store: CheckpointStore, interval_specs: Sequence,
+                    ) -> Tuple[List[CheckpointJobSpec], int]:
+    """Work out which generation passes a set of interval jobs still needs.
+
+    ``interval_specs`` are (typically cache-missed) checkpointed
+    :class:`~repro.exec.jobs.IntervalJobSpec`; they are grouped by shared
+    identity (workload, trace length, seed, plan, core configuration), and
+    each group is probed for missing shared/policy snapshots across *all*
+    intervals of its plan.  Returns ``(requests, total_identities)`` where
+    ``total_identities`` counts every (group, configuration) pair seen —
+    ``total_identities - sum(len(r.identities) for r in requests)`` is the
+    number whose *policy* snapshots are already present.  A group whose
+    policy snapshots all hit but whose shared snapshots are damaged still
+    yields a request (``write_shared=True``, empty ``identities``): such a
+    pass regenerates shared state only, so "no work done" is ``requests ==
+    []`` (the engine's ``checkpoint_passes`` stat), not merely "zero
+    generated identities".
+    """
+    groups: Dict[str, dict] = {}
+    for spec in interval_specs:
+        payload = _shared_payload(spec.workload, spec.settings)
+        token = json.dumps(payload, sort_keys=True, default=repr)
+        group = groups.setdefault(token, {
+            "workload": spec.workload, "settings": spec.settings,
+            "identities": {},
+        })
+        identity = (spec.config_name, spec.settings.sq_size, spec.predictors)
+        group["identities"].setdefault(_identity_token(identity), identity)
+
+    requests: List[CheckpointJobSpec] = []
+    total_identities = 0
+    directory = str(store.directory)
+    for group in groups.values():
+        workload = group["workload"]
+        settings = group["settings"]
+        count = settings.sampling.num_intervals(settings.instructions)
+        identities = list(group["identities"].values())
+        total_identities += len(identities)
+        write_shared = any(
+            not store.contains(shared_key(workload, settings, i))
+            for i in range(count))
+        missing = [identity for identity in identities
+                   if any(not store.contains(policy_key(workload, settings,
+                                                        identity, i))
+                          for i in range(count))]
+        if write_shared or missing:
+            requests.append(CheckpointJobSpec(
+                workload=workload, settings=settings,
+                identities=tuple(missing), write_shared=write_shared,
+                directory=directory))
+    return requests, total_identities
+
+
+def generate_checkpoints(store: CheckpointStore, workload: str,
+                         settings: "ExperimentSettings",
+                         identities: Sequence[PolicyIdentity],
+                         write_shared: bool = True) -> int:
+    """One full functional pass: snapshot every interval start into ``store``.
+
+    Warms all ``identities`` simultaneously (plus the shared structures) and
+    writes one shared snapshot (when ``write_shared``) and one policy
+    snapshot per identity at each interval's detailed-warmup start.  Returns
+    the number of snapshot points written.
+    """
+    from repro.harness.runner import make_policy
+    from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
+
+    plan = settings.sampling
+    if plan is None:
+        raise ValueError("settings carry no sampling plan")
+    windows = plan.intervals(settings.instructions)
+    policies = [make_policy(config_name, sq_size=sq_size, predictors=predictors)
+                for config_name, sq_size, predictors in identities]
+    if policies:
+        warm_policies = policies
+    else:
+        # Shared-only regeneration: any policy drives the shared structures
+        # identically; a base policy is the cheapest stand-in.
+        from repro.lsu.policies import SQPolicy
+
+        warm_policies = [SQPolicy(sq_size=settings.sq_size)]
+    warmer = FunctionalWarmer(settings.core, policies=warm_policies)
+    position = 0
+    for window in windows:
+        target = window.detailed_start
+        while position < target:
+            chunk_end = min(target, position + TRACE_SEGMENT_UOPS)
+            # The pass streams every segment exactly once; bypass the disk
+            # segment memo so a paper-length generation cannot flood the
+            # store with segments no interval job will ever touch.
+            warmer.warm(build_workload_window(
+                workload, settings.instructions, settings.seed,
+                position, chunk_end, disk_memo=False))
+            position = chunk_end
+        if write_shared:
+            store.put(shared_key(workload, settings, window.index),
+                      _shared_snapshot(warmer.state))
+            # Memoise the interval's detailed window too (it is tiny next
+            # to the segments it straddles, and every configuration's
+            # interval job re-reads it).
+            store.put(window_key(workload, settings, window.index),
+                      interval_window_uops(workload, settings, window,
+                                           disk_memo=False))
+        for identity, policy in zip(identities, policies):
+            store.put(policy_key(workload, settings, identity, window.index),
+                      policy)
+    return len(windows)
+
+
+def interval_window_uops(workload: str, settings: "ExperimentSettings",
+                         window, disk_memo: bool = False):
+    """Compose the micro-ops a checkpointed interval simulates in detail:
+    ``[detailed_start, measure_end + overrun)``."""
+    from repro.sampling.driver import _overrun
+    from repro.workloads.suites import build_workload_window
+
+    stop = min(settings.instructions,
+               window.measure_end + _overrun(settings.core))
+    return build_workload_window(workload, settings.instructions,
+                                 settings.seed, window.detailed_start, stop,
+                                 disk_memo=disk_memo)
+
+
+def run_checkpoint_job(request: CheckpointJobSpec) -> int:
+    """Execute one generation request (engine pool workers call this)."""
+    store = CheckpointStore(request.directory)
+    return generate_checkpoints(store, request.workload, request.settings,
+                                request.identities,
+                                write_shared=request.write_shared)
+
+
+# ------------------------------------------------------------------ loading --
+
+def load_interval_window(spec, window):
+    """The detailed-window micro-ops of one checkpointed interval.
+
+    Served from the store's window memo when possible; a missing or
+    corrupt blob falls back to composing the window from its segments
+    (bit-identical by construction) and repairs the store entry.
+    """
+    store = CheckpointStore(spec.checkpoint_dir)
+    key = window_key(spec.workload, spec.settings, spec.interval_index)
+    uops = store.get(key)
+    if uops is not None:
+        return uops
+    # Compose without the (environment-located) segment memo: the repaired
+    # window blob below lands in *this* spec's store, keeping explicitly
+    # isolated runs from writing anywhere else.
+    uops = interval_window_uops(spec.workload, spec.settings, window,
+                                disk_memo=False)
+    store.put(key, uops)
+    return uops
+
+
+def load_interval_state(spec, window) -> FunctionalState:
+    """The warmed machine state at ``window.detailed_start`` for one interval.
+
+    Loads the shared + policy snapshots of a checkpointed
+    :class:`~repro.exec.jobs.IntervalJobSpec` and assembles them into a
+    :class:`~repro.sampling.functional.FunctionalState`.  A missing,
+    truncated, or otherwise unreadable snapshot never fails the job and
+    never degrades its accuracy: the exact full-history state is recomputed
+    in-process (a functional replay of ``[0, detailed_start)``) and the
+    store entries are repaired, keeping serial/parallel/cached runs
+    bit-identical whatever the store's condition.
+    """
+    from repro.harness.runner import make_policy
+    from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
+
+    store = CheckpointStore(spec.checkpoint_dir)
+    settings = spec.settings
+    identity = (spec.config_name, settings.sq_size, spec.predictors)
+    skey = shared_key(spec.workload, settings, spec.interval_index)
+    pkey = policy_key(spec.workload, settings, identity, spec.interval_index)
+    shared = store.get(skey)
+    policy = store.get(pkey)
+    if isinstance(shared, SharedWarmState) and policy is not None:
+        return _assemble(settings, shared, policy)
+
+    # Exact in-process fallback + store repair.
+    warmer = FunctionalWarmer(
+        settings.core,
+        make_policy(spec.config_name, sq_size=settings.sq_size,
+                    predictors=spec.predictors))
+    position = 0
+    while position < window.detailed_start:
+        chunk_end = min(window.detailed_start, position + TRACE_SEGMENT_UOPS)
+        warmer.warm(build_workload_window(
+            spec.workload, settings.instructions, settings.seed,
+            position, chunk_end, disk_memo=False))
+        position = chunk_end
+    state = warmer.export_state()
+    store.put(skey, _shared_snapshot(state))
+    store.put(pkey, state.policy)
+    return state

@@ -32,7 +32,7 @@ from repro.isa.trace import DynamicTrace
 from repro.isa.uop import MicroOp
 from repro.pipeline.core import OutOfOrderCore
 from repro.sampling.functional import FunctionalWarmer
-from repro.sampling.plan import IntervalWindow, SamplingPlan
+from repro.sampling.plan import IntervalWindow
 from repro.sampling.result import (
     IntervalMeasurement,
     SampledResult,
@@ -44,14 +44,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.runner import ExperimentSettings, RunRecord
 
 
-def expand_sampled_spec(spec: JobSpec) -> List[IntervalJobSpec]:
-    """One :class:`IntervalJobSpec` per interval of a sampled base spec."""
+def expand_sampled_spec(spec: JobSpec, checkpointed: bool = False,
+                        checkpoint_dir: Optional[str] = None
+                        ) -> List[IntervalJobSpec]:
+    """One :class:`IntervalJobSpec` per interval of a sampled base spec.
+
+    ``checkpointed`` stamps the intervals to load full-history snapshots
+    from the checkpoint store at ``checkpoint_dir`` (``None`` = environment
+    default location) instead of bounded re-warming; callers resolve the
+    flag first (:func:`repro.sampling.checkpoints.resolve_checkpointed`).
+    """
     plan = spec.settings.sampling
     if plan is None:
         raise ValueError("spec has no sampling plan")
     count = plan.num_intervals(spec.settings.instructions)
     return [IntervalJobSpec(spec.workload, spec.config_name, spec.settings,
-                            index, spec.predictors)
+                            index, spec.predictors,
+                            checkpointed=checkpointed,
+                            checkpoint_dir=checkpoint_dir)
             for index in range(count)]
 
 
@@ -68,16 +78,45 @@ def _overrun(config) -> int:
     return config.rob_size + 4 * config.rename_width
 
 
+def _simulate_window(uops: Sequence[MicroOp], window: IntervalWindow,
+                     workload: str, config_name: str,
+                     settings: "ExperimentSettings",
+                     predictors: Optional["PredictorSuiteConfig"],
+                     state) -> "RunRecord":
+    """Detailed warm-up + measured region over an already warmed machine.
+
+    ``uops`` covers ``[window.detailed_start, window.measure_end)`` plus up
+    to :func:`_overrun` trailing instructions; ``state`` is the warmed
+    machine state at ``window.detailed_start`` (``None`` = cold start).
+    """
+    from repro.harness.runner import RunRecord, make_policy
+
+    config = settings.core
+    if state is not None:
+        core = OutOfOrderCore(config, state.policy)
+        core.import_state(state)
+    else:
+        core = OutOfOrderCore(config, make_policy(config_name,
+                                                  sq_size=settings.sq_size,
+                                                  predictors=predictors))
+    trace = DynamicTrace(name=workload, uops=list(uops))
+    result = core.run(
+        trace, warm_memory=False,
+        stats_warmup_instructions=window.measure_start - window.detailed_start,
+        stats_measure_instructions=window.measure_length)
+    return RunRecord(workload=workload, config_name=config_name, result=result)
+
+
 def _run_interval(uops: Sequence[MicroOp], window: IntervalWindow,
                   workload: str, config_name: str,
                   settings: "ExperimentSettings",
                   predictors: Optional["PredictorSuiteConfig"]) -> "RunRecord":
-    """Warm + simulate one interval over its (already built) micro-op window.
+    """Bounded-warming interval: functionally warm, then simulate.
 
     ``uops`` covers ``[window.functional_start, window.measure_end)`` plus
     up to :func:`_overrun` trailing instructions.
     """
-    from repro.harness.runner import RunRecord, make_policy
+    from repro.harness.runner import make_policy
 
     config = settings.core
     policy = make_policy(config_name, sq_size=settings.sq_size,
@@ -90,19 +129,18 @@ def _run_interval(uops: Sequence[MicroOp], window: IntervalWindow,
         state = warmer.export_state()
     else:
         state = None
-    core = OutOfOrderCore(config, policy)
-    if state is not None:
-        core.import_state(state)
-    trace = DynamicTrace(name=workload, uops=list(uops[warm_len:]))
-    result = core.run(
-        trace, warm_memory=False,
-        stats_warmup_instructions=window.measure_start - window.detailed_start,
-        stats_measure_instructions=window.measure_length)
-    return RunRecord(workload=workload, config_name=config_name, result=result)
+    return _simulate_window(uops[warm_len:], window, workload, config_name,
+                            settings, predictors, state)
 
 
 def run_interval_job(spec: IntervalJobSpec) -> "RunRecord":
-    """Execute one interval job, regenerating its trace window by value."""
+    """Execute one interval job, regenerating its trace window by value.
+
+    Checkpointed specs load (or exactly recompute, see
+    :func:`repro.sampling.checkpoints.load_interval_state`) the interval's
+    full-history snapshot and only regenerate the detailed window; bounded
+    specs regenerate the functional-warming window too and warm in-process.
+    """
     from repro.workloads.suites import build_workload_window
 
     settings = spec.settings
@@ -112,8 +150,23 @@ def run_interval_job(spec: IntervalJobSpec) -> "RunRecord":
     window = plan.intervals(settings.instructions)[spec.interval_index]
     stop = min(settings.instructions,
                window.measure_end + _overrun(settings.core))
+    if getattr(spec, "checkpointed", False):
+        from repro.sampling.checkpoints import (
+            load_interval_state,
+            load_interval_window,
+        )
+
+        state = load_interval_state(spec, window)
+        uops = load_interval_window(spec, window)
+        return _simulate_window(uops, window, spec.workload, spec.config_name,
+                                settings, spec.predictors, state)
+    # Bounded warming is the no-store fast path: compose without the disk
+    # segment memo (a one-shot window write-through costs more than it can
+    # ever repay — checkpointed jobs get their windows from the store's
+    # per-interval window memo instead).
     uops = build_workload_window(spec.workload, settings.instructions,
-                                 settings.seed, window.functional_start, stop)
+                                 settings.seed, window.functional_start, stop,
+                                 disk_memo=False)
     return _run_interval(uops, window, spec.workload, spec.config_name,
                          settings, spec.predictors)
 
@@ -170,18 +223,40 @@ def merge_interval_records(spec: JobSpec,
 
 def run_sampled_workload(workload: str, config_name: str,
                          settings: "ExperimentSettings",
-                         predictors: Optional["PredictorSuiteConfig"] = None
+                         predictors: Optional["PredictorSuiteConfig"] = None,
+                         checkpoint_dir: Optional[str] = None
                          ) -> "RunRecord":
     """Run a whole sampled simulation serially, by workload name.
 
     Interval trace windows are regenerated on demand; the full trace is
     never materialised, so this scales to paper-length (10M-instruction)
     runs in bounded memory.  Bit-identical to the engine's fanned-out
-    execution of the same spec.
+    execution of the same spec, including the checkpointed-warming
+    resolution: when ``settings.checkpoints`` (or ``REPRO_CHECKPOINTS``)
+    enables checkpointing, the store at ``checkpoint_dir`` (``None`` =
+    environment default) is populated with one functional pass and every
+    interval starts from its full-history snapshot.
     """
+    from repro.sampling.checkpoints import (
+        CheckpointStore,
+        plan_generation,
+        resolve_checkpointed,
+        run_checkpoint_job,
+    )
+
     spec = JobSpec(workload, config_name, settings, predictors)
+    checkpointed = resolve_checkpointed(settings)
+    if checkpointed:
+        store = CheckpointStore(checkpoint_dir)
+        interval_specs = expand_sampled_spec(
+            spec, checkpointed=True, checkpoint_dir=str(store.directory))
+        requests, _total = plan_generation(store, interval_specs)
+        for request in requests:
+            run_checkpoint_job(request)
+    else:
+        interval_specs = expand_sampled_spec(spec)
     records = [run_interval_job(interval_spec)
-               for interval_spec in expand_sampled_spec(spec)]
+               for interval_spec in interval_specs]
     return merge_interval_records(spec, records)
 
 
@@ -197,7 +272,17 @@ def run_sampled_trace(trace: DynamicTrace, config_name: str,
     as :func:`run_sampled_workload`, and for custom traces the sampled
     estimate targets the same population as the detailed run it
     approximates.
+
+    Checkpointed warming (resolved exactly as in
+    :func:`run_sampled_workload`) is implemented in memory here: one
+    cumulative functional pass over the materialised trace is snapshotted
+    (serialised, matching the on-disk store's copy semantics bit for bit) at
+    each interval's detailed-warmup start, so the record equals the
+    store-backed paths without touching the store — custom traces are not
+    content-addressable by ``(name, instructions, seed)``.
     """
+    from repro.sampling.checkpoints import resolve_checkpointed
+
     plan = settings.sampling
     if plan is None:
         raise ValueError("settings carry no sampling plan")
@@ -205,11 +290,30 @@ def run_sampled_trace(trace: DynamicTrace, config_name: str,
     windows = plan.intervals(total)
     spec = JobSpec(trace.name, config_name, settings, predictors)
     records = []
-    for window in windows:
-        stop = min(total, window.measure_end + _overrun(settings.core))
-        uops = trace.uops[window.functional_start:stop]
-        records.append(_run_interval(uops, window, trace.name, config_name,
-                                     settings, predictors))
+    if resolve_checkpointed(settings):
+        import pickle
+
+        from repro.harness.runner import make_policy
+
+        warmer = FunctionalWarmer(
+            settings.core, make_policy(config_name, sq_size=settings.sq_size,
+                                       predictors=predictors))
+        position = 0
+        for window in windows:
+            warmer.warm(trace.uops[position:window.detailed_start])
+            position = window.detailed_start
+            # Pickle round trip = the frozen-copy semantics of the store.
+            state = pickle.loads(pickle.dumps(warmer.state))
+            stop = min(total, window.measure_end + _overrun(settings.core))
+            records.append(_simulate_window(
+                trace.uops[window.detailed_start:stop], window, trace.name,
+                config_name, settings, predictors, state))
+    else:
+        for window in windows:
+            stop = min(total, window.measure_end + _overrun(settings.core))
+            uops = trace.uops[window.functional_start:stop]
+            records.append(_run_interval(uops, window, trace.name, config_name,
+                                         settings, predictors))
     if total != settings.instructions:
         import dataclasses
 

@@ -31,12 +31,22 @@ The warmed state is handed to a detailed core via
 short detailed warm-up (:class:`~repro.sampling.plan.SamplingPlan`'s *W*)
 lets the short-lived state (window occupancy, in-flight dependences, DDP
 counters) settle before measurement begins.
+
+**Multi-policy warming** (PR 3): everything above except the policy tables is
+configuration-independent, so one replay pass can warm several store-queue
+policies at once — the branch predictor, caches, memory image, SSN counters,
+and last-writer map are updated once per micro-op while the per-policy
+``warm_store_renamed``/``store_committed``/``warm_load`` hooks run for every
+policy.  This is what lets the checkpoint store
+(:mod:`repro.sampling.checkpoints`) amortise a single O(N) functional pass
+across every configuration of a sweep.  With a single policy the update
+sequence is identical to the original single-policy warmer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.frontend.branch_predictor import BranchUnit
 from repro.isa.uop import MicroOp
@@ -67,39 +77,65 @@ class FunctionalState:
 
 
 class FunctionalWarmer:
-    """Replays micro-ops in order, updating long-lived state only."""
+    """Replays micro-ops in order, updating long-lived state only.
 
-    def __init__(self, config: CoreConfig, policy: SQPolicy,
-                 start_index: int = 0) -> None:
+    ``policy`` names the single policy to warm (the common case).  Passing
+    ``policies`` instead warms several policies through one shared replay:
+    the shared structures are updated once per micro-op and every policy's
+    training hooks run against them (``policy`` then defaults to the first
+    entry, which :attr:`state` and :meth:`export_state` expose).
+    """
+
+    def __init__(self, config: CoreConfig, policy: Optional[SQPolicy] = None,
+                 start_index: int = 0,
+                 policies: Optional[Sequence[SQPolicy]] = None) -> None:
+        if policies is None:
+            if policy is None:
+                raise ValueError("provide a policy (or a policies sequence)")
+            policies = [policy]
+        elif policy is not None and (not policies or policies[0] is not policy):
+            raise ValueError("pass either policy or policies, not both")
         self.config = config
+        self._policies: List[SQPolicy] = list(policies)
+        if not self._policies:
+            raise ValueError("at least one policy is required")
         self.state = FunctionalState(
             config=config,
             branch_unit=BranchUnit(config.branch_predictor),
             hierarchy=MemoryHierarchy(config.memory),
             memory=MemoryImage(),
             ssn_alloc=SSNAllocator(bits=config.ssn_bits),
-            policy=policy,
+            policy=self._policies[0],
         )
         #: Dynamic instruction index of the next micro-op (used for the
         #: in-flight-window approximation; offsets into the full trace keep
         #: the distances meaningful when warming starts mid-trace).
         self._index = start_index
 
+    @property
+    def policies(self) -> List[SQPolicy]:
+        """The policies warmed by this replay (first == ``state.policy``)."""
+        return self._policies
+
     # ------------------------------------------------------------------ warm --
 
     def warm(self, uops: Sequence[MicroOp]) -> None:
-        """Functionally retire ``uops`` in order."""
+        """Functionally retire ``uops`` in order.
+
+        Shared structures (caches, branch tables, memory image, SSN
+        counters, last-writer map) are updated once per micro-op; every
+        policy's warming hooks run against that shared state, with the
+        would-forward window computed per policy (SQ sizes may differ).
+        """
         state = self.state
         branch_resolve = state.branch_unit.predict_and_resolve
         hierarchy = state.hierarchy
         memory_write = state.memory.write
         ssn_alloc = state.ssn_alloc
-        policy = state.policy
-        warm_store_renamed = policy.warm_store_renamed
-        store_committed = policy.store_committed
-        warm_load = policy.warm_load
+        warm_stores = [p.warm_store_renamed for p in self._policies]
+        commit_hooks = [p.store_committed for p in self._policies]
+        warm_loads = [(p.warm_load, p.sq_size) for p in self._policies]
         last_writer = state.last_writer
-        sq_size = policy.sq_size
         window_span = self.config.rob_size
         index = self._index
 
@@ -119,18 +155,23 @@ class FunctionalWarmer:
                             best = entry
                     ssn_cmt = ssn_alloc.ssn_commit
                     if best is not None:
-                        would_forward = (ssn_cmt - best_ssn < sq_size
-                                         and index - best[2] < window_span)
-                        warm_load(uop.pc, addr, size, best_ssn, best[1],
-                                  would_forward, ssn_cmt)
+                        in_window = index - best[2] < window_span
+                        for warm_load, sq_size in warm_loads:
+                            would_forward = (in_window
+                                             and ssn_cmt - best_ssn < sq_size)
+                            warm_load(uop.pc, addr, size, best_ssn, best[1],
+                                      would_forward, ssn_cmt)
                     else:
-                        warm_load(uop.pc, addr, size, 0, 0, False, ssn_cmt)
+                        for warm_load, _sq_size in warm_loads:
+                            warm_load(uop.pc, addr, size, 0, 0, False, ssn_cmt)
                 else:  # store
                     ssn = ssn_alloc.allocate()
-                    warm_store_renamed(uop.pc, ssn)
+                    for warm_store_renamed in warm_stores:
+                        warm_store_renamed(uop.pc, ssn)
                     memory_write(addr, size, mem.value)
                     ssn_alloc.commit(ssn)
-                    store_committed(uop.pc, ssn, addr, size)
+                    for store_committed in commit_hooks:
+                        store_committed(uop.pc, ssn, addr, size)
                     hierarchy.store_touch(addr)
                     entry = (ssn, uop.pc, index)
                     for byte_addr in range(addr, addr + size):
@@ -146,5 +187,11 @@ class FunctionalWarmer:
     # ---------------------------------------------------------------- export --
 
     def export_state(self) -> FunctionalState:
-        """The warmed state bundle (shared references, not a copy)."""
+        """The warmed state bundle (shared references, not a copy).
+
+        For multi-policy warming the bundle carries the *first* policy; the
+        checkpoint store persists the other policies' state individually
+        (:func:`repro.sampling.checkpoints.generate_checkpoints`) and
+        reassembles per-configuration bundles at load time.
+        """
         return self.state

@@ -17,7 +17,7 @@ approximate a target benchmark profile.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.isa.registers import FP_REG_COUNT, INT_REG_COUNT, REG_ZERO
 from repro.isa.trace import DynamicTrace

@@ -208,16 +208,42 @@ _SEGMENT_CACHE: Dict[Tuple[str, int, int, int], List] = {}
 _SEGMENT_CACHE_LIMIT = 12
 
 
-def _compose_segment(name: str, seed: int, index: int, length: int) -> List:
+def _segment_disk_store():
+    """The on-disk segment memo (None when checkpointing is disabled).
+
+    Composed segments are expensive relative to unpickling, and sampling
+    jobs across processes, configurations, and runs re-touch the same
+    segments; the checkpoint store memoises them content-addressed (keyed
+    over the workload-source fingerprint, so edits invalidate).  Imported
+    lazily: the workloads package must not depend on the sampling package
+    at import time.
+    """
+    from repro.sampling.checkpoints import segment_store
+
+    return segment_store()
+
+
+def _compose_segment(name: str, seed: int, index: int, length: int,
+                     disk_memo: bool = False) -> List:
     """Compose (and memoise) segment ``index`` of a workload, truncated to
     ``length`` micro-ops (composition is prefix-stable, so a shorter final
     segment equals the prefix of the full segment)."""
     key = (name, seed, index, length)
     uops = _SEGMENT_CACHE.get(key)
     if uops is None:
-        profile = get_profile(name)
-        composer = WorkloadComposer(profile, seed=_segment_seed(seed, index))
-        uops = composer.compose(length).uops
+        store = _segment_disk_store() if disk_memo else None
+        disk_key = None
+        if store is not None:
+            from repro.sampling.checkpoints import segment_key
+
+            disk_key = segment_key(name, seed, index, length)
+            uops = store.get(disk_key)
+        if uops is None:
+            profile = get_profile(name)
+            composer = WorkloadComposer(profile, seed=_segment_seed(seed, index))
+            uops = composer.compose(length).uops
+            if store is not None:
+                store.put(disk_key, uops)
         while len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_LIMIT:
             _SEGMENT_CACHE.pop(next(iter(_SEGMENT_CACHE)))
         _SEGMENT_CACHE[key] = uops
@@ -225,7 +251,8 @@ def _compose_segment(name: str, seed: int, index: int, length: int) -> List:
 
 
 def build_workload_window(name: str, instructions: int, seed: int,
-                          start: int, stop: int) -> List:
+                          start: int, stop: int,
+                          disk_memo: bool = False) -> List:
     """Micro-ops ``[start, stop)`` of the workload's trace, composing only
     the segments that overlap the window.
 
@@ -233,6 +260,18 @@ def build_workload_window(name: str, instructions: int, seed: int,
     but with cost proportional to the window's segment span rather than to
     ``instructions``; this is what lets interval-sampling jobs regenerate
     their slice of a 10M-instruction trace without materialising it.
+
+    ``disk_memo=True`` additionally memoises the touched segments in the
+    checkpoint store (when ``REPRO_CHECKPOINTS`` enables it) — an explicit
+    opt-in for callers that re-read the same segments across processes or
+    runs.  It stays off by default: a library call must not write stores
+    into the caller's working directory as a side effect, streaming
+    single-pass consumers (checkpoint generation, full-trace builds) would
+    flood the store with segments nothing re-reads, and one-shot windows
+    cost more to write through than the memo can repay — checkpointed
+    interval jobs use the store's per-interval *window* memo instead
+    (:func:`repro.sampling.checkpoints.window_key`), which is what removed
+    the window-regeneration hot loop.
     """
     if not 0 <= start <= stop <= instructions:
         raise ValueError(f"window [{start}, {stop}) outside trace [0, {instructions})")
@@ -243,7 +282,8 @@ def build_workload_window(name: str, instructions: int, seed: int,
         seg_len = min(segment, instructions - seg_base)
         if seg_len <= 0:
             break
-        seg_uops = _compose_segment(name, seed, index, seg_len)
+        seg_uops = _compose_segment(name, seed, index, seg_len,
+                                    disk_memo=disk_memo)
         lo = max(start - seg_base, 0)
         hi = min(stop - seg_base, seg_len)
         if hi > lo:
@@ -277,9 +317,13 @@ def build_workload(name: str, instructions: int = DEFAULT_INSTRUCTIONS,
     """
     if instructions <= 0:
         raise ValueError("instruction budget must be positive")
+    # Full-trace materialisation streams every segment exactly once; bypass
+    # the disk segment memo so full-detail runs don't flood the checkpoint
+    # store with segments only sampling windows ever re-read.
     return DynamicTrace(
         name=name,
-        uops=build_workload_window(name, instructions, seed, 0, instructions))
+        uops=build_workload_window(name, instructions, seed, 0, instructions,
+                                   disk_memo=False))
 
 
 def build_suite(suite: str, instructions: int = DEFAULT_INSTRUCTIONS,

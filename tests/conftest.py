@@ -7,8 +7,15 @@ switched off for the whole suite unless the developer explicitly opts in by
 exporting ``REPRO_CACHE`` themselves.  Tests that exercise the cache pass an
 explicit ``cache_dir`` / ``ResultCache`` (an explicit opt-in that overrides
 the switch) pointed at ``tmp_path``.
+
+The checkpoint store (``.repro-checkpoints/``, ``REPRO_CHECKPOINTS``) is
+switched off the same way and for the same reason — and so that the many
+pre-existing sampled tests keep exercising the bounded-warming path they
+were written against.  Checkpoint tests opt in per run with
+``ExperimentSettings(checkpoints=True)`` and a ``tmp_path`` store.
 """
 
 import os
 
 os.environ.setdefault("REPRO_CACHE", "0")
+os.environ.setdefault("REPRO_CHECKPOINTS", "0")

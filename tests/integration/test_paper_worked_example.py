@@ -18,7 +18,7 @@ intermediate state visible and checkable.
 import pytest
 
 from repro.core.predictors import PredictorSuiteConfig, FSPConfig, SATConfig, SVWConfig, DDPConfig
-from repro.lsu.policies import IndexedSQPolicy, LoadCommitInfo, LoadPrediction
+from repro.lsu.policies import IndexedSQPolicy, LoadCommitInfo
 from repro.lsu.store_queue import StoreQueue
 from repro.memory.image import MemoryImage
 

@@ -13,13 +13,19 @@ only error sources are interval sampling variance (covered by the CI) and
 the in-flight-window approximation at interval boundaries.  Bounded
 functional warming trades a little accuracy for O(sampled) cost and is
 exercised by the cheaper smoke assertions below.
+
+Checkpointed warming (PR 3, ``TestCheckpointedAccuracy``) must reach the
+same ±3% bound *without* a covering per-interval warm-up: its one O(N)
+functional pass per workload carries full history into every interval, so
+its measured bias must be strictly smaller than bounded warming's on the
+same plan, and its serial/parallel/cached executions bit-identical.
 """
 
 import dataclasses
 
 import pytest
 
-from repro.exec import ExperimentEngine, JobSpec
+from repro.exec import ExperimentEngine, JobSpec, ResultCache
 from repro.harness.runner import ExperimentSettings, run_workload
 from repro.sampling import SamplingPlan
 from repro.sampling.driver import run_sampled_workload
@@ -118,6 +124,102 @@ class TestExecutionPathEquivalence:
         parallel, = ExperimentEngine(jobs=2, cache=False).run(
             [JobSpec(WORKLOAD, config, self.SETTINGS)])
         assert serial.result.stats.as_dict() == parallel.result.stats.as_dict()
+
+
+#: The checkpointed-accuracy plan: same layout as FULL_PLAN but with a
+#: bounded per-interval warm-up horizon nowhere near covering the trace —
+#: checkpointed warming must make up the missing history from its snapshots.
+CHECKPOINT_PLAN = dataclasses.replace(FULL_PLAN, functional_warmup=2_000)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_store_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("checkpoint-store"))
+
+
+@pytest.fixture(scope="module")
+def checkpointed_record(config_name, checkpoint_store_dir):
+    settings = ExperimentSettings(instructions=INSTRUCTIONS,
+                                  stats_warmup_fraction=0.0,
+                                  sampling=CHECKPOINT_PLAN, checkpoints=True)
+    return run_sampled_workload(WORKLOAD, config_name, settings,
+                                checkpoint_dir=checkpoint_store_dir)
+
+
+@pytest.fixture(scope="module")
+def bounded_record(config_name):
+    settings = ExperimentSettings(instructions=INSTRUCTIONS,
+                                  stats_warmup_fraction=0.0,
+                                  sampling=CHECKPOINT_PLAN, checkpoints=False)
+    return run_sampled_workload(WORKLOAD, config_name, settings)
+
+
+class TestCheckpointedAccuracy:
+    """Acceptance contract of the checkpoint subsystem (PR 3)."""
+
+    def test_cpi_within_bound_without_covering_warmup(
+            self, checkpointed_record, full_detail_cpi, config_name):
+        assert CHECKPOINT_PLAN.functional_warmup < INSTRUCTIONS // 10
+        sampled = checkpointed_record.result.sampled
+        error = abs(sampled.cpi_mean - full_detail_cpi) / full_detail_cpi
+        assert error <= CPI_ERROR_BOUND, (
+            f"{config_name}: checkpointed CPI {sampled.cpi_mean:.4f} vs full "
+            f"{full_detail_cpi:.4f} ({error:.1%} > {CPI_ERROR_BOUND:.0%})")
+
+    def test_bias_strictly_smaller_than_bounded_warming(
+            self, checkpointed_record, bounded_record, full_detail_cpi,
+            config_name):
+        checkpointed_bias = abs(
+            checkpointed_record.result.sampled.cpi_mean - full_detail_cpi)
+        bounded_bias = abs(
+            bounded_record.result.sampled.cpi_mean - full_detail_cpi)
+        assert checkpointed_bias < bounded_bias, (
+            f"{config_name}: checkpointed bias {checkpointed_bias:.4f} not "
+            f"below bounded-warming bias {bounded_bias:.4f}")
+
+    def test_equals_full_functional_warming(self, checkpointed_record,
+                                            sampled_record):
+        # Snapshots carry the whole prefix's history, so a checkpointed run
+        # over a bounded plan is bit-identical to the same plan with
+        # functional_warmup covering the trace (the faithful SMARTS mode).
+        assert (checkpointed_record.result.stats.as_dict()
+                == sampled_record.result.stats.as_dict())
+
+    def test_materialised_trace_path_bit_identical(self, checkpointed_record,
+                                                   trace, config_name):
+        # run_workload over a materialised trace implements checkpointing
+        # in memory (one cumulative warming pass, serialised snapshots);
+        # it must equal the store-backed driver bit for bit.
+        settings = ExperimentSettings(instructions=INSTRUCTIONS,
+                                      stats_warmup_fraction=0.0,
+                                      sampling=CHECKPOINT_PLAN,
+                                      checkpoints=True)
+        trace_record = run_workload(trace, config_name, settings)
+        assert (trace_record.result.stats.as_dict()
+                == checkpointed_record.result.stats.as_dict())
+
+    def test_serial_parallel_cached_bit_identical(
+            self, checkpointed_record, config_name, checkpoint_store_dir,
+            tmp_path):
+        settings = ExperimentSettings(instructions=INSTRUCTIONS,
+                                      stats_warmup_fraction=0.0,
+                                      sampling=CHECKPOINT_PLAN,
+                                      checkpoints=True)
+        spec = JobSpec(WORKLOAD, config_name, settings)
+        reference = checkpointed_record.result.stats.as_dict()
+        parallel, = ExperimentEngine(
+            jobs=2, cache=False,
+            checkpoint_dir=checkpoint_store_dir).run([spec])
+        assert parallel.result.stats.as_dict() == reference
+        cached_engine = ExperimentEngine(
+            jobs=1, cache=ResultCache(tmp_path / "cache"),
+            checkpoint_dir=checkpoint_store_dir)
+        cold, = cached_engine.run([spec])
+        warm, = cached_engine.run([spec])
+        assert cached_engine.last_run_stats["cache_hits"] \
+            == cached_engine.last_run_stats["total"]
+        assert cold.result.stats.as_dict() == reference
+        assert warm.result.stats.as_dict() == reference
 
 
 class TestBoundedWarmingSmoke:

@@ -2,13 +2,12 @@
 end-to-end simulator invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro import simulate
 from repro.core.predictors import PredictorSuiteConfig, FSPConfig, SATConfig, DDPConfig, SVWConfig
 from repro.core.ssn import SSNAllocator, sq_index
-from repro.core.svw import StoreSequenceBloomFilter, SVWFilter
+from repro.core.svw import SVWFilter
 from repro.isa.trace import DynamicTrace
 from repro.isa.uop import make_alu, make_branch, make_load, make_store
 from repro.lsu.policies import IndexedSQPolicy, OracleAssociativePolicy

@@ -1,0 +1,355 @@
+"""Unit tests for the checkpoint store (`repro.sampling.checkpoints`).
+
+Covers the multi-policy functional warmer (one pass, many configurations),
+the export/import round trip (exact for every warmed structure), store
+invalidation (source fingerprints, plan changes), corruption robustness
+(truncated snapshots repair in place, never crash and never change the
+result), the engine's generation/reuse accounting, the on-disk trace-segment
+memo, and the result-cache key semantics of checkpointed interval specs.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.exec import ExperimentEngine, IntervalJobSpec, JobSpec, job_key
+from repro.exec import fingerprint as fingerprint_module
+from repro.harness.runner import ExperimentSettings, make_policy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import OutOfOrderCore
+from repro.sampling import SamplingPlan
+from repro.sampling.checkpoints import (
+    CheckpointStore,
+    checkpoints_enabled,
+    generate_checkpoints,
+    load_interval_state,
+    plan_generation,
+    policy_key,
+    resolve_checkpointed,
+    segment_key,
+    shared_key,
+)
+from repro.sampling.driver import (
+    expand_sampled_spec,
+    run_interval_job,
+    run_sampled_workload,
+)
+from repro.sampling.functional import FunctionalWarmer
+from repro.workloads.suites import build_workload, build_workload_window
+
+WORKLOAD = "vortex"
+PLAN = SamplingPlan(interval_length=500, detailed_warmup=500, period=5_000,
+                    functional_warmup=1_000, seed=0)
+SETTINGS = ExperimentSettings(instructions=20_000, stats_warmup_fraction=0.0,
+                              sampling=PLAN, checkpoints=True)
+
+CONFIG = "indexed-3-fwd+dly"
+IDENTITY = (CONFIG, SETTINGS.sq_size, None)
+
+
+def _checkpointed_specs(store, settings=SETTINGS, config=CONFIG):
+    spec = JobSpec(WORKLOAD, config, settings)
+    return expand_sampled_spec(spec, checkpointed=True,
+                               checkpoint_dir=str(store.directory))
+
+
+class TestResolution:
+    def test_settings_override_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        assert not checkpoints_enabled()
+        assert resolve_checkpointed(SETTINGS)  # explicit True wins
+        assert not resolve_checkpointed(
+            dataclasses.replace(SETTINGS, checkpoints=False))
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "1")
+        assert resolve_checkpointed(
+            dataclasses.replace(SETTINGS, checkpoints=None))
+
+    def test_never_checkpointed_without_sampling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "1")
+        plain = dataclasses.replace(SETTINGS, sampling=None, checkpoints=None)
+        assert not resolve_checkpointed(plain)
+
+
+class TestMultiPolicyWarming:
+    """One shared pass must warm each policy exactly as its own pass would."""
+
+    PREFIX = 4_000
+
+    def test_policy_state_matches_single_policy_pass(self):
+        trace = build_workload(WORKLOAD, self.PREFIX, seed=1)
+        configs = ("indexed-3-fwd+dly", "associative-5-predictive")
+        multi_policies = [make_policy(name) for name in configs]
+        multi = FunctionalWarmer(CoreConfig(), policies=multi_policies)
+        multi.warm(trace.uops)
+        for name, warmed in zip(configs, multi_policies):
+            single_policy = make_policy(name)
+            single = FunctionalWarmer(CoreConfig(), single_policy)
+            single.warm(trace.uops)
+            assert warmed.state_signature() == single_policy.state_signature(), name
+
+    def test_shared_state_matches_single_policy_pass(self):
+        trace = build_workload(WORKLOAD, self.PREFIX, seed=1)
+        multi = FunctionalWarmer(CoreConfig(), policies=[
+            make_policy("indexed-3-fwd+dly"), make_policy("associative-3")])
+        multi.warm(trace.uops)
+        single = FunctionalWarmer(CoreConfig(), make_policy("indexed-3-fwd+dly"))
+        single.warm(trace.uops)
+        a, b = multi.state, single.state
+        assert a.branch_unit.state_signature() == b.branch_unit.state_signature()
+        assert a.hierarchy.state_signature() == b.hierarchy.state_signature()
+        assert a.memory.state_signature() == b.memory.state_signature()
+        assert a.ssn_alloc == b.ssn_alloc
+        assert a.last_writer == b.last_writer
+
+    def test_export_state_carries_first_policy(self):
+        policies = [make_policy("indexed-3-fwd"), make_policy("associative-3")]
+        warmer = FunctionalWarmer(CoreConfig(), policies=policies)
+        assert warmer.export_state().policy is policies[0]
+        assert warmer.policies == policies
+
+
+class TestExportImportRoundTrip:
+    """export_state -> (pickle) -> import_state is exact for every warmed
+    structure — the checkpoint analogue of the PR 2 functional-replay
+    exactness test."""
+
+    PREFIX = 6_000
+
+    @pytest.fixture(scope="class")
+    def warmed_blob(self):
+        trace = build_workload(WORKLOAD, self.PREFIX, seed=1)
+        warmer = FunctionalWarmer(CoreConfig(), make_policy(CONFIG))
+        warmer.warm(trace.uops)
+        return pickle.dumps(warmer.export_state())
+
+    def test_every_structure_survives_the_round_trip(self, warmed_blob):
+        original = pickle.loads(warmed_blob)
+        core = OutOfOrderCore(CoreConfig(), make_policy(CONFIG))
+        core.import_state(pickle.loads(warmed_blob))
+        exported = core.export_state()
+        assert (exported.branch_unit.state_signature()
+                == original.branch_unit.state_signature())
+        assert (exported.hierarchy.state_signature()
+                == original.hierarchy.state_signature())
+        assert (exported.memory.state_signature()
+                == original.memory.state_signature())
+        assert exported.ssn_alloc.ssn_rename == original.ssn_alloc.ssn_rename
+        assert exported.ssn_alloc.ssn_commit == original.ssn_alloc.ssn_commit
+        assert (exported.policy.state_signature()
+                == original.policy.state_signature())
+        # The exported last-writer map keeps every byte's writer SSN (the
+        # only component import_state consumes).
+        assert ({a: e[0] for a, e in exported.last_writer.items()}
+                == {a: e[0] for a, e in original.last_writer.items()})
+
+    def test_round_tripped_state_simulates_identically(self, warmed_blob):
+        window = build_workload_window(WORKLOAD, self.PREFIX + 4_000, 1,
+                                       self.PREFIX, self.PREFIX + 4_000)
+        results = []
+        for _ in range(2):
+            core = OutOfOrderCore(CoreConfig(), make_policy(CONFIG))
+            core.import_state(pickle.loads(warmed_blob))
+            from repro.isa.trace import DynamicTrace
+
+            result = core.run(DynamicTrace(name=WORKLOAD, uops=list(window)),
+                              warm_memory=False)
+            results.append(result.stats.as_dict())
+        assert results[0] == results[1]
+
+
+class TestStoreInvalidation:
+    def test_simulator_source_change_misses(self, tmp_path, monkeypatch):
+        store = CheckpointStore(tmp_path)
+        before_shared = shared_key(WORKLOAD, SETTINGS, 0)
+        before_policy = policy_key(WORKLOAD, SETTINGS, IDENTITY, 0)
+        monkeypatch.setattr(fingerprint_module, "simulator_fingerprint",
+                            lambda: "edited-simulator-source")
+        assert shared_key(WORKLOAD, SETTINGS, 0) != before_shared
+        assert policy_key(WORKLOAD, SETTINGS, IDENTITY, 0) != before_policy
+        # A populated store therefore misses end to end.
+        monkeypatch.undo()
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        requests, total = plan_generation(store, _checkpointed_specs(store))
+        assert total == 1 and not requests  # warm before the "edit"
+        monkeypatch.setattr(fingerprint_module, "simulator_fingerprint",
+                            lambda: "edited-simulator-source")
+        requests, total = plan_generation(store, _checkpointed_specs(store))
+        assert total == 1 and len(requests) == 1
+        assert requests[0].identities == (IDENTITY,)
+        assert requests[0].write_shared
+
+    def test_workload_source_change_misses(self, monkeypatch):
+        before = segment_key(WORKLOAD, 1, 0, 4_096)
+        before_shared = shared_key(WORKLOAD, SETTINGS, 0)
+        monkeypatch.setattr(fingerprint_module, "workload_fingerprint",
+                            lambda: "edited-workload-source")
+        assert segment_key(WORKLOAD, 1, 0, 4_096) != before
+        assert shared_key(WORKLOAD, SETTINGS, 0) != before_shared
+
+    def test_functional_warmup_does_not_invalidate(self, tmp_path):
+        # Snapshots and windows do not depend on the bounded-warming
+        # horizon; toggling it must keep the store warm.
+        other = dataclasses.replace(
+            SETTINGS, sampling=dataclasses.replace(PLAN, functional_warmup=9))
+        assert shared_key(WORKLOAD, SETTINGS, 0) == shared_key(WORKLOAD, other, 0)
+        assert (policy_key(WORKLOAD, SETTINGS, IDENTITY, 0)
+                == policy_key(WORKLOAD, other, IDENTITY, 0))
+        store = CheckpointStore(tmp_path)
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        requests, total = plan_generation(
+            store, _checkpointed_specs(store, settings=other))
+        assert total == 1 and not requests
+
+    def test_plan_change_misses(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        changed = dataclasses.replace(
+            SETTINGS, sampling=dataclasses.replace(PLAN, detailed_warmup=600))
+        requests, _total = plan_generation(
+            store, _checkpointed_specs(store, settings=changed))
+        assert len(requests) == 1 and requests[0].write_shared
+
+    def test_new_configuration_reuses_shared_snapshots(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        other = ("associative-5-predictive", SETTINGS.sq_size, None)
+        requests, total = plan_generation(
+            store, _checkpointed_specs(store, config=other[0]))
+        assert total == 1 and len(requests) == 1
+        assert requests[0].identities == (other,)
+        assert not requests[0].write_shared  # shared snapshots stay valid
+
+
+class TestCorruptSnapshots:
+    def test_truncated_snapshots_repair_in_place(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        specs = _checkpointed_specs(store)
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        intact = run_interval_job(specs[1]).result.stats.as_dict()
+        # Truncate every snapshot blob in the store.
+        damaged = 0
+        for path in store.directory.glob("*.pkl"):
+            path.write_bytes(path.read_bytes()[:16])
+            damaged += 1
+        assert damaged > 0
+        repaired = run_interval_job(specs[1])
+        # No crash, and no silent accuracy loss: the exact full-history
+        # state is recomputed, so the record is bit-identical.
+        assert repaired.result.stats.as_dict() == intact
+        # The store was repaired for subsequent jobs.
+        again = run_interval_job(specs[1])
+        assert again.result.stats.as_dict() == intact
+
+    def test_cold_store_direct_interval_job_works(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        specs = _checkpointed_specs(store)
+        record = run_interval_job(specs[0])  # nothing generated yet
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        assert (run_interval_job(specs[0]).result.stats.as_dict()
+                == record.result.stats.as_dict())
+
+
+class TestEngineGeneration:
+    def test_generates_once_then_reuses_across_engines(self, tmp_path):
+        spec = JobSpec(WORKLOAD, CONFIG, SETTINGS)
+        cold = ExperimentEngine(jobs=1, cache=False, checkpoint_dir=tmp_path)
+        cold_record, = cold.run([spec])
+        assert cold.last_run_stats["checkpoint_generated"] == 1
+        assert cold.last_run_stats["checkpoint_passes"] == 1
+        warm = ExperimentEngine(jobs=1, cache=False, checkpoint_dir=tmp_path)
+        warm_record, = warm.run([spec])
+        assert warm.last_run_stats["checkpoint_generated"] == 0
+        assert warm.last_run_stats["checkpoint_reused"] == 1
+        assert (warm_record.result.stats.as_dict()
+                == cold_record.result.stats.as_dict())
+
+    def test_one_pass_warms_every_configuration_of_a_sweep(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=False, checkpoint_dir=tmp_path)
+        engine.run([JobSpec(WORKLOAD, CONFIG, SETTINGS),
+                    JobSpec(WORKLOAD, "associative-5-predictive", SETTINGS)])
+        stats = engine.last_run_stats
+        assert stats["checkpoint_identities"] == 2
+        assert stats["checkpoint_generated"] == 2
+        assert stats["checkpoint_passes"] == 1  # a single shared O(N) pass
+
+    def test_engine_matches_serial_driver(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=False, checkpoint_dir=tmp_path)
+        record, = engine.run([JobSpec(WORKLOAD, CONFIG, SETTINGS)])
+        serial = run_sampled_workload(WORKLOAD, CONFIG, SETTINGS,
+                                      checkpoint_dir=str(tmp_path))
+        assert record.result.stats.as_dict() == serial.result.stats.as_dict()
+
+
+class TestSegmentMemo:
+    def test_disk_memo_round_trips_segments(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "1")
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        from repro.workloads import suites
+
+        monkeypatch.setattr(suites, "_SEGMENT_CACHE", {})
+        fresh = build_workload_window(WORKLOAD, 8_000, 7, 0, 8_000,
+                                      disk_memo=True)
+        assert len(CheckpointStore()) > 0  # segment blob written
+        monkeypatch.setattr(suites, "_SEGMENT_CACHE", {})
+        from_disk = build_workload_window(WORKLOAD, 8_000, 7, 0, 8_000,
+                                          disk_memo=True)
+        assert from_disk == fresh
+
+    def test_default_call_writes_nothing(self, tmp_path, monkeypatch):
+        # The disk memo is an explicit opt-in: a plain library call must
+        # not create a store in the caller's working directory, whatever
+        # the environment says.
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "1")
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        from repro.workloads import suites
+
+        monkeypatch.setattr(suites, "_SEGMENT_CACHE", {})
+        build_workload_window(WORKLOAD, 8_000, 8, 0, 8_000)
+        assert len(CheckpointStore()) == 0
+
+    def test_disabled_environment_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        from repro.workloads import suites
+
+        monkeypatch.setattr(suites, "_SEGMENT_CACHE", {})
+        build_workload_window(WORKLOAD, 8_000, 8, 0, 8_000, disk_memo=True)
+        assert len(CheckpointStore()) == 0
+
+
+class TestCacheKeys:
+    def test_checkpointed_flag_is_part_of_the_key(self):
+        bounded = IntervalJobSpec(WORKLOAD, CONFIG, SETTINGS, 0)
+        checkpointed = dataclasses.replace(bounded, checkpointed=True)
+        assert job_key(bounded) != job_key(checkpointed)
+
+    def test_store_location_is_not(self):
+        a = IntervalJobSpec(WORKLOAD, CONFIG, SETTINGS, 0, checkpointed=True,
+                            checkpoint_dir="/somewhere")
+        b = dataclasses.replace(a, checkpoint_dir="/elsewhere")
+        assert job_key(a) == job_key(b)
+
+    def test_checkpoints_field_resolution_does_not_split_keys(self):
+        # None (resolved from the environment) and an explicit flag produce
+        # the same key: only the *resolved* checkpointed flag matters.
+        explicit = IntervalJobSpec(WORKLOAD, CONFIG, SETTINGS, 0,
+                                   checkpointed=True)
+        from_env = dataclasses.replace(
+            explicit,
+            settings=dataclasses.replace(SETTINGS, checkpoints=None))
+        assert job_key(explicit) == job_key(from_env)
+
+
+class TestStateLoading:
+    def test_loaded_state_is_fresh_per_job(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        generate_checkpoints(store, WORKLOAD, SETTINGS, [IDENTITY])
+        specs = _checkpointed_specs(store)
+        window = PLAN.intervals(SETTINGS.instructions)[0]
+        first = load_interval_state(specs[0], window)
+        second = load_interval_state(specs[0], window)
+        assert first.policy is not second.policy
+        assert first.hierarchy is not second.hierarchy
+        assert (first.policy.state_signature()
+                == second.policy.state_signature())

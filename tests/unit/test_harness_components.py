@@ -1,8 +1,6 @@
 """Unit tests for harness components (reporting, paper reference data) and
 small ablations of design choices called out in DESIGN.md."""
 
-import pytest
-
 from repro.core.predictors import (
     DDPConfig,
     FSPConfig,

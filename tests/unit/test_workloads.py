@@ -3,7 +3,6 @@ and the suite composer."""
 
 import pytest
 
-from repro.isa.uop import OpClass
 from repro.workloads.kernels import (
     ALL_KERNELS,
     AccumulateKernel,
