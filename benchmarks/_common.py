@@ -30,6 +30,8 @@ import json
 import os
 from pathlib import Path
 
+from repro.exec import available_cpus
+
 #: Repository root (benchmarks/ lives directly under it); the BENCH_*.json
 #: trajectory files are written here so successive PRs can diff them.
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -40,8 +42,9 @@ _workloads_env = os.environ.get("REPRO_BENCH_WORKLOADS", "").strip()
 WORKLOAD_SUBSET = [w.strip() for w in _workloads_env.split(",") if w.strip()] or None
 
 #: Benchmarks exercise the parallel path by default: REPRO_JOBS if set,
-#: otherwise one worker per CPU.
-DEFAULT_JOBS = int(os.environ.get("REPRO_JOBS", "0") or "0") or (os.cpu_count() or 1)
+#: otherwise one worker per *available* CPU (affinity/cgroup aware —
+#: ``os.cpu_count()`` oversubscribes restricted CI runners).
+DEFAULT_JOBS = int(os.environ.get("REPRO_JOBS", "0") or "0") or available_cpus()
 
 
 def run_once(benchmark, func, *args, **kwargs):
@@ -59,6 +62,7 @@ def run_environment() -> dict:
     """
     return {
         "cpu_count": os.cpu_count() or 1,
+        "cpus_available": available_cpus(),
         "env": {key: value for key, value in sorted(os.environ.items())
                 if key.startswith("REPRO_")},
     }

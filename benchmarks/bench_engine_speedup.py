@@ -14,12 +14,11 @@ measured ratio.  The warm-cache re-run must always be a large win — it
 simulates nothing.
 """
 
-import os
 import time
 
 from _common import DEFAULT_INSTRUCTIONS, write_bench_json
 
-from repro.exec import ExperimentEngine, ResultCache
+from repro.exec import ExperimentEngine, ResultCache, available_cpus
 from repro.harness.figure4 import run_figure4
 from repro.harness.runner import ExperimentSettings
 
@@ -42,7 +41,7 @@ def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKL
     execution strategies); reused by ``run_all.py``.
     """
     instructions = instructions or DEFAULT_INSTRUCTIONS
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     if parallel_jobs is None:
         parallel_jobs = max(4, cpus) if cpus >= 4 else max(2, cpus)
     settings = ExperimentSettings(instructions=instructions, stats_warmup_fraction=0.25)

@@ -27,6 +27,15 @@ Three measurements, all recorded in ``BENCH_sampling.json``:
   execution time with its confidence interval.  Runs checkpointed by
   default (both configurations share one warming pass), i.e. the recorded
   cell is paper-faithful full-history warming.
+* **Sharded generation** — the checkpoint-generation stage of the same
+  sweep run twice against cold private stores: one unsharded pass per
+  workload group (the PR 3 scheme) vs the sharded (trace-chunk x
+  policy-group) stitched fan-out.  Every snapshot is asserted
+  bit-identical between the two stores (shared signatures and policy
+  signatures, per interval), the merged sweep results are asserted
+  bit-identical too, and the wall-time ratio — the parallelisation of the
+  last O(N) serial stage inside a single workload — is recorded; >= 1.5x
+  is asserted when >= 4 CPUs are available at the default sweep scale.
 """
 
 import dataclasses
@@ -34,7 +43,7 @@ import os
 import tempfile
 import time
 
-from repro.exec import ExperimentEngine, JobSpec, ResultCache
+from repro.exec import ExperimentEngine, JobSpec, ResultCache, available_cpus
 from repro.harness.runner import BASELINE_CONFIG, ExperimentSettings
 from repro.sampling import SamplingPlan
 from repro.sampling.checkpoints import resolve_checkpointed
@@ -258,6 +267,142 @@ def assert_checkpointed_sweep(data: dict) -> None:
     assert data["checkpoint_stats"]["checkpoint_passes"] == 1, data
     if data["sweep_instructions"] >= 300_000:
         assert data["amortised_speedup_vs_bounded"] >= 1.0, data
+
+
+def measure_sharded_generation(instructions: int = None,
+                               workload: str = SPEEDUP_WORKLOAD,
+                               configs=CHECKPOINT_SWEEP_CONFIGS) -> dict:
+    """Unsharded vs sharded checkpoint generation on cold private stores.
+
+    Times only the generation stage (the remaining O(N) serial cost inside
+    a single workload), asserts the sharded store's snapshots are
+    bit-identical to the single pass's (shared and policy signatures, per
+    interval), and asserts the sweeps simulated from the two stores merge
+    bit-identically.  Both arms start from cold in-process segment caches
+    and write only into private stores.
+    """
+    from repro.sampling.checkpoints import (
+        CheckpointStore,
+        execute_generation,
+        plan_generation,
+        policy_key,
+        resolve_checkpoint_shards,
+        run_checkpoint_job,
+        shared_key,
+        shared_signature,
+    )
+    from repro.sampling.driver import expand_sampled_spec
+    from repro.workloads import suites
+
+    instructions = instructions or CHECKPOINT_SWEEP_INSTRUCTIONS
+    period = max(instructions // 20, 4_000)
+    plan = SamplingPlan(interval_length=1_000, detailed_warmup=1_000,
+                        period=period,
+                        functional_warmup=max(period - 2_000, 1_000), seed=0)
+    settings = ExperimentSettings(instructions=instructions,
+                                  stats_warmup_fraction=0.0,
+                                  sampling=plan, checkpoints=True)
+    cpus = available_cpus()
+    # Honour an explicit REPRO_CHECKPOINT_SHARDS; otherwise one chunk per
+    # CPU (at least 2), so the recorded artifact always exercises the
+    # stitched path even on auto-sized runs.
+    shards = resolve_checkpoint_shards(settings) or max(2, cpus)
+    sharded_settings = dataclasses.replace(settings, checkpoint_shards=shards)
+    windows = plan.intervals(instructions)
+    identities = [(config, settings.sq_size, None) for config in configs]
+
+    def interval_specs(store, run_settings):
+        specs = []
+        for config in configs:
+            specs.extend(expand_sampled_spec(
+                JobSpec(workload, config, run_settings), checkpointed=True,
+                checkpoint_dir=str(store.directory)))
+        return specs
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as root:
+        single_store = CheckpointStore(os.path.join(root, "single"))
+        sharded_store = CheckpointStore(os.path.join(root, "sharded"))
+
+        # Baseline: the PR 3 scheme, one unsharded in-process pass per
+        # workload group (deliberately not routed through the sharded
+        # executor, whatever the environment says).
+        suites._SEGMENT_CACHE.clear()
+        requests, _ = plan_generation(
+            single_store, interval_specs(single_store, settings))
+        start = time.perf_counter()
+        for request in requests:
+            run_checkpoint_job(request)
+        single_s = time.perf_counter() - start
+        single_passes = len(requests)
+
+        suites._SEGMENT_CACHE.clear()
+        requests, _ = plan_generation(
+            sharded_store, interval_specs(sharded_store, sharded_settings))
+        start = time.perf_counter()
+        sharded_stats = execute_generation(sharded_store, requests,
+                                           jobs=max(2, cpus))
+        sharded_s = time.perf_counter() - start
+
+        # Snapshot-level bit-identity, every interval of every configuration.
+        for window in windows:
+            single_shared = single_store.get(
+                shared_key(workload, settings, window.index))
+            sharded_shared = sharded_store.get(
+                shared_key(workload, sharded_settings, window.index))
+            assert single_shared is not None and sharded_shared is not None, \
+                f"missing shared snapshot at interval {window.index}"
+            assert (shared_signature(single_shared)
+                    == shared_signature(sharded_shared)), \
+                f"shared snapshot diverged at interval {window.index}"
+            for identity in identities:
+                single_policy = single_store.get(
+                    policy_key(workload, settings, identity, window.index))
+                sharded_policy = sharded_store.get(
+                    policy_key(workload, sharded_settings, identity,
+                               window.index))
+                assert single_policy is not None and sharded_policy is not None, \
+                    f"missing policy snapshot {identity[0]}/{window.index}"
+                assert (single_policy.state_signature()
+                        == sharded_policy.state_signature()), \
+                    f"policy snapshot diverged {identity[0]}/{window.index}"
+
+        # Merged-result bit-identity: the sweep simulated from either store
+        # is the same sweep.
+        def sweep(store, run_settings):
+            engine = ExperimentEngine(jobs=1, cache=False,
+                                      checkpoint_dir=store.directory)
+            return engine.run([JobSpec(workload, config, run_settings)
+                               for config in configs])
+
+        assert (_sweep_signature(sweep(single_store, settings))
+                == _sweep_signature(sweep(sharded_store, sharded_settings))), \
+            "sweep from sharded store diverged from single-pass store"
+
+    return {
+        "workload": workload,
+        "configs": list(configs),
+        "sweep_instructions": instructions,
+        "intervals": len(windows),
+        "cpus": cpus,
+        "shards": shards,
+        "single_pass_s": round(single_s, 3),
+        "single_passes": single_passes,
+        "sharded_s": round(sharded_s, 3),
+        "sharded_stats": dict(sharded_stats),
+        "generation_speedup": round(single_s / sharded_s, 3) if sharded_s else 0.0,
+        "snapshots_identical": True,
+        "merged_identical": True,
+    }
+
+
+def assert_sharded_generation(data: dict) -> None:
+    """Bit-identity always; the >= 1.5x generation-stage bar applies on
+    multi-CPU hardware at the default sweep scale (below it, per-pass fixed
+    costs and pool start-up are not amortised)."""
+    assert data["snapshots_identical"] and data["merged_identical"], data
+    assert data["sharded_stats"]["checkpoint_shard_jobs"] > 1, data
+    if data["cpus"] >= 4 and data["sweep_instructions"] >= 300_000:
+        assert data["generation_speedup"] >= 1.5, data
 
 
 def measure_sampled_artifact(instructions: int = None,

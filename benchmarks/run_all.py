@@ -41,10 +41,12 @@ from _common import (  # noqa: E402
 from bench_engine_speedup import measure_engine_speedup  # noqa: E402
 from bench_sampling_speedup import (  # noqa: E402
     assert_checkpointed_sweep,
+    assert_sharded_generation,
     assert_speedup,
     measure_checkpointed_sweep,
     measure_sampled_artifact,
     measure_sampling_speedup,
+    measure_sharded_generation,
 )
 
 from repro.exec import ExperimentEngine  # noqa: E402
@@ -142,20 +144,26 @@ def bench_engine(_engine: ExperimentEngine) -> dict:
 
 
 def bench_sampling(_engine: ExperimentEngine) -> dict:
-    """Sampling speedup, the checkpointed sweep, and the paper-scale artifact.
+    """Sampling speedup, the checkpointed sweep, sharded generation, and
+    the paper-scale artifact.
 
     The matched-count half simulates the same (workload, configuration)
     both ways and asserts the >= ~10x win of bounded-warming sampling; the
     checkpointed-sweep half runs a multi-configuration sweep bounded vs
     checkpointed and asserts the amortised single-pass warming is at least
-    as fast (while carrying full history); the artifact half runs a
-    10M-instruction Figure-4 cell sampled-only (relative time with a
-    confidence interval) — the scale the subsystem exists to reach.
+    as fast (while carrying full history); the sharded-generation half
+    re-runs that sweep's generation stage unsharded vs sharded on cold
+    stores, asserts snapshot- and merged-result bit-identity, and records
+    the stage speedup (>= 1.5x asserted at >= 4 CPUs); the artifact half
+    runs a 10M-instruction Figure-4 cell sampled-only (relative time with
+    a confidence interval) — the scale the subsystem exists to reach.
     """
     speedup = measure_sampling_speedup()
     assert_speedup(speedup)
     checkpointed_sweep = measure_checkpointed_sweep()
     assert_checkpointed_sweep(checkpointed_sweep)
+    sharded_generation = measure_sharded_generation()
+    assert_sharded_generation(sharded_generation)
     artifact = measure_sampled_artifact()
     assert artifact["intervals"] >= 2, artifact
     assert artifact["relative_time_ci_halfwidth"] > 0.0, artifact
@@ -167,7 +175,7 @@ def bench_sampling(_engine: ExperimentEngine) -> dict:
         assert artifact["relative_time_ci_halfwidth"] < 0.25 * artifact["relative_time"], artifact
         assert 0.7 < artifact["relative_time"] < 1.4, artifact
     return {"speedup": speedup, "checkpointed_sweep": checkpointed_sweep,
-            "artifact": artifact}
+            "sharded_generation": sharded_generation, "artifact": artifact}
 
 
 BENCHES = (
@@ -191,9 +199,13 @@ def main() -> int:
             os.environ.get("REPRO_BENCH_ONLY", "").split(",") if name.strip()}
     benches = [(name, bench) for name, bench in BENCHES
                if not only or name in only]
-    unknown = only - {name for name, _ in BENCHES}
+    valid = [name for name, _ in BENCHES]
+    unknown = only - set(valid)
     if unknown:
-        print(f"REPRO_BENCH_ONLY names unknown benches: {sorted(unknown)}")
+        # Fail fast: a typo must not silently regenerate everything (or
+        # nothing) with exit 0.
+        print(f"REPRO_BENCH_ONLY names unknown benches {sorted(unknown)}; "
+              f"valid names: {', '.join(valid)}", file=sys.stderr)
         return 1
     failures = 0
     for name, bench in benches:

@@ -28,7 +28,7 @@ from repro.exec.cache import (
     generic_key,
     job_key,
 )
-from repro.exec.engine import ExperimentEngine, resolve_jobs
+from repro.exec.engine import ExperimentEngine, available_cpus, resolve_jobs
 from repro.exec.fingerprint import (
     simulator_fingerprint,
     timing_fingerprint,
@@ -40,6 +40,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "ExperimentEngine",
+    "available_cpus",
     "IntervalJobSpec",
     "JobSpec",
     "ResultCache",

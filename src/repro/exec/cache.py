@@ -25,8 +25,9 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Set
 
 from repro.exec.fingerprint import simulator_fingerprint, workload_fingerprint
 
@@ -36,8 +37,25 @@ CACHE_SCHEMA_VERSION = 1
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-#: Settings fields that steer *execution*, not simulation semantics.
-_EXECUTION_ONLY_FIELDS = ("jobs",)
+#: Settings fields that steer *execution*, not simulation semantics
+#: (``checkpoint_shards`` only changes *how* bit-identical snapshots are
+#: generated, never what any job computes).
+_EXECUTION_ONLY_FIELDS = ("jobs", "checkpoint_shards")
+
+#: Age beyond which an orphaned ``*.tmp`` blob is certainly not a write in
+#: flight (entries are written in one go; a healthy write lives milliseconds).
+_TMP_STALE_SECONDS = 3600.0
+
+#: Grace period for :meth:`ResultCache.clear`'s stray sweep: long enough
+#: that a concurrent writer in another process is never raced between
+#: ``mkstemp`` and ``os.replace``, short enough that an explicit clear
+#: leaves no meaningful garbage behind.
+_TMP_CLEAR_GRACE_SECONDS = 60.0
+
+#: Directories already swept for stale temp files by this process — the
+#: sweep is opportunistic hygiene, not per-construction work (stores are
+#: constructed once per job in pool workers).
+_SWEPT_DIRS: Set[str] = set()
 
 #: Settings fields whose raw value may mean "environment default" and is
 #: therefore resolved before keying: ``checkpoints`` becomes the effective
@@ -99,15 +117,50 @@ def generic_key(tag: str, payload: Any) -> str:
 
 
 class ResultCache:
-    """Pickle-per-entry on-disk cache with atomic writes."""
+    """Pickle-per-entry on-disk cache with atomic writes.
+
+    Interrupted writers (a pool worker SIGKILLed mid-:meth:`put`) can strand
+    ``*.tmp`` blobs that no ``except`` block ever sees; left alone they
+    accumulate forever and get persisted by CI's ``actions/cache``.  They
+    are invisible to lookups and :meth:`__len__` (entries are ``*.pkl``)
+    and are swept when demonstrably stale — so a live writer in another
+    process is never raced — opportunistically on first construction per
+    directory per process, and with a much shorter grace by :meth:`clear`.
+    """
 
     def __init__(self, directory: Optional[os.PathLike] = None) -> None:
         self.directory = Path(directory
                               or os.environ.get("REPRO_CACHE_DIR")
                               or DEFAULT_CACHE_DIR)
+        key = str(self.directory)
+        if key not in _SWEPT_DIRS:
+            _SWEPT_DIRS.add(key)
+            self.sweep_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
+
+    def sweep_stale_tmp(self,
+                        max_age_seconds: float = _TMP_STALE_SECONDS) -> int:
+        """Delete orphaned ``*.tmp`` blobs older than ``max_age_seconds``.
+
+        Returns the number removed.  Deletion races (another process
+        sweeping, a writer renaming) are benign and ignored.
+        """
+        removed = 0
+        now = time.time()
+        try:
+            strays = list(self.directory.glob("*.tmp"))
+        except OSError:
+            return 0
+        for path in strays:
+            try:
+                if now - path.stat().st_mtime >= max_age_seconds:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     def get(self, key: str) -> Optional[Any]:
         """Return the cached value for ``key``, or ``None`` on any miss.
@@ -149,8 +202,25 @@ class ResultCache:
         except OSError:
             return []
 
+    def discard(self, key: str) -> bool:
+        """Delete one entry (used for transient blobs such as the sharded
+        generation's boundary handoffs); missing entries are not an error."""
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry and stale stray temp file; returns the
+        number of entries removed.
+
+        The stray sweep keeps a short grace period (unlike entries, a
+        ``*.tmp`` seconds old may be another process's write in flight,
+        and unlinking it mid-``put`` would crash that writer's
+        ``os.replace``); a full reset of everything regardless of age is
+        ``rm -rf`` of the directory, which is always safe too.
+        """
         removed = 0
         for path in self._entries():
             try:
@@ -158,4 +228,5 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self.sweep_stale_tmp(_TMP_CLEAR_GRACE_SECONDS)
         return removed

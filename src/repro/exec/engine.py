@@ -19,11 +19,14 @@ using three layers:
   warming (``settings.checkpoints`` / ``REPRO_CHECKPOINTS``, see
   :mod:`repro.sampling.checkpoints`) get a generation stage between the
   cache probe and the fan-out: for each workload group with cache-missed
-  intervals, one full functional pass warms every missing configuration
-  simultaneously and snapshots each interval start into the checkpoint
-  store; the interval jobs then load snapshots instead of re-warming.
-  Groups with a warm store skip generation entirely (the amortisation
-  across configurations, sweeps, and runs).
+  intervals, the warming pass is **sharded** into (segment-aligned trace
+  chunk x policy group) jobs stitched through boundary snapshots and
+  fanned out over the pool — bit-identical to a single full pass, but
+  parallel *inside* one workload (``REPRO_CHECKPOINT_SHARDS`` /
+  ``ExperimentSettings.checkpoint_shards``); the interval jobs then load
+  snapshots instead of re-warming.  Groups with a warm store skip
+  generation entirely (the amortisation across configurations, sweeps,
+  and runs).
 
 Environment knobs:
 
@@ -38,6 +41,11 @@ Environment knobs:
 ``REPRO_CHECKPOINTS`` / ``REPRO_CHECKPOINT_DIR``
     Checkpointed-warming default for sampled specs and the snapshot-store
     location (default ``.repro-checkpoints/``; safe to delete at any time).
+``REPRO_CHECKPOINT_SHARDS``
+    Trace chunks per checkpoint-generation chain (see
+    :func:`repro.sampling.checkpoints.plan_shard_jobs`).  Unset or ``<= 0``
+    sizes shards from the worker count; a pure execution knob — stitched
+    sharded generation is bit-identical to the single pass.
 """
 
 from __future__ import annotations
@@ -51,10 +59,29 @@ from repro.exec.cache import ResultCache, generic_key, job_key
 from repro.exec.jobs import JobSpec, run_job
 
 
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine's CPUs even when the process is
+    pinned to fewer (cgroup cpusets, ``taskset``, affinity-restricted CI
+    runners), and sizing a pool from it oversubscribes the restricted set.
+    Prefer the scheduling affinity where the platform exposes it.
+    """
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            return len(sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve a worker count: explicit value, else ``REPRO_JOBS``, else 1.
 
-    Any value <= 0 (explicit or from the environment) means "all CPUs".
+    Any value <= 0 (explicit or from the environment) means "all CPUs" —
+    the CPUs available to this process (:func:`available_cpus`), not the
+    machine total.
     """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
@@ -68,8 +95,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         else:
             jobs = 1
     if jobs <= 0:
-        jobs = os.cpu_count() or 1
+        jobs = available_cpus()
     return jobs
+
+
+def fork_pool(workers: int):
+    """A ``fork`` pool where available (cheap, inherits loaded code and
+    warm per-process memos), else the platform default.  The one pool
+    constructor for both the engine's job fan-out and the checkpoint
+    generation stage, so a start-method change applies everywhere."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    return ctx.Pool(processes=workers)
 
 
 def _cache_enabled() -> bool:
@@ -191,15 +230,19 @@ class ExperimentEngine:
         """The checkpoint-generation stage (runs on cache-missed intervals).
 
         Probes the store for every (workload group, configuration) the
-        pending checkpointed intervals need, then runs one full-trace
-        functional pass per group with anything missing — fanned out over
-        the pool when several groups (i.e. workloads) need generating.
-        Intervals served from the result cache never trigger generation.
+        pending checkpointed intervals need, then runs the generation work
+        for the missing groups **sharded**: each group's pass is decomposed
+        into (segment-aligned trace chunk x policy group) shard jobs
+        stitched through boundary snapshots and fanned out chunk-major
+        over the pool (:func:`repro.sampling.checkpoints.execute_generation`
+        — bit-identical to the single pass, parallel inside a single
+        workload).  Intervals served from the result cache never trigger
+        generation.
         """
         from repro.sampling.checkpoints import (
             CheckpointStore,
+            execute_generation,
             plan_generation,
-            run_checkpoint_job,
         )
 
         checkpointed = [spec for spec in pending_specs
@@ -210,20 +253,15 @@ class ExperimentEngine:
                                 or self.checkpoint_dir)
         requests, total_identities = plan_generation(store, checkpointed)
         generated = sum(len(request.identities) for request in requests)
-        if requests:
-            if self.jobs > 1 and len(requests) > 1:
-                with self._pool(min(self.jobs, len(requests))) as pool:
-                    for _ in pool.imap_unordered(run_checkpoint_job, requests):
-                        pass
-            else:
-                for request in requests:
-                    run_checkpoint_job(request)
         self._checkpoint_stats = {
             "checkpoint_identities": total_identities,
             "checkpoint_generated": generated,
             "checkpoint_reused": total_identities - generated,
             "checkpoint_passes": len(requests),
         }
+        if requests:
+            self._checkpoint_stats.update(
+                execute_generation(store, requests, jobs=self.jobs))
 
     def _execute(self, specs: List[JobSpec],
                  chunksize: Optional[int] = None,
@@ -279,13 +317,7 @@ class ExperimentEngine:
 
     @staticmethod
     def _pool(workers: int):
-        """A ``fork`` pool where available (cheap, inherits the code), else
-        the platform default."""
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        return ctx.Pool(processes=workers)
+        return fork_pool(workers)
 
     # ---------------------------------------------------------------- memoizing --
 

@@ -10,6 +10,13 @@ memoises) the traces it needs.
 ``run_job`` is the single entry point executed on both the serial path and
 inside pool workers, which is what makes serial and parallel sweeps
 bit-identical.
+
+Checkpoint *generation* work travels the same way but with its own spec
+type: the engine's generation stage fans
+:class:`~repro.sampling.checkpoints.ShardJobSpec` (one stitched chunk of
+one warming chain) out over the pool via
+:func:`~repro.sampling.checkpoints.run_shard_job` before the interval jobs
+here are simulated.
 """
 
 from __future__ import annotations

@@ -40,15 +40,41 @@ safe.  Corrupt or truncated snapshot files are repaired in place: the
 affected interval recomputes the exact same full-history state in-process
 (never a silently-lukewarm result, never a crash).
 
+**Sharded generation** (PR 4): the O(N) generation pass itself is
+decomposed into a grid of pool-sized **shard jobs** — contiguous
+segment-aligned trace *chunks* crossed with *policy groups* — and stitched
+back together through **boundary snapshots**:
+
+* a *policy group* warms a subset of a sweep's configurations through its
+  own full replay (policies are independent folds over the shared replay
+  stream, so per-group passes are bit-identical to the one multi-policy
+  pass; the group carrying ``write_shared`` also emits the shared
+  snapshots and window memos);
+* a *chunk* job resumes a group's replay from the previous chunk's
+  exported :class:`BoundaryState` (stitch handoff through the store) and
+  emits the snapshots of the intervals whose detailed-warmup start falls
+  inside its chunk.  Because functional warming is a deterministic fold,
+  the stitched snapshots are **bit-identical** to the single-pass ones
+  (validated at handoff, unit- and CI-tested end to end);
+* jobs are fanned out **chunk-major** over the engine pool: a worker whose
+  boundary has not arrived yet *precomposes its chunk's trace segments*
+  while it waits, which moves composition — the largest share of the pass
+  — off the sequential stitch chain.  A handoff that never arrives (or
+  arrives damaged) falls back to an exact in-process prefix recompute:
+  slower, never wrong.
+
 Environment knobs::
 
-    REPRO_CHECKPOINTS=0       # disable (sampled runs fall back to bounded
-                              # functional warming, the PR 2 behaviour)
-    REPRO_CHECKPOINT_DIR=...  # store location, default .repro-checkpoints/
-                              # (safe to delete at any time)
+    REPRO_CHECKPOINTS=0         # disable (sampled runs fall back to bounded
+                                # functional warming, the PR 2 behaviour)
+    REPRO_CHECKPOINT_DIR=...    # store location, default .repro-checkpoints/
+                                # (safe to delete at any time)
+    REPRO_CHECKPOINT_SHARDS=K   # trace chunks per generation chain
+                                # (<= 0 or unset: sized from the worker
+                                # count; 1 disables trace sharding)
 
-``ExperimentSettings.checkpoints`` overrides the environment per run
-(``None`` means "follow ``REPRO_CHECKPOINTS``").
+``ExperimentSettings.checkpoints`` / ``ExperimentSettings.checkpoint_shards``
+override the environment per run (``None`` means "follow the environment").
 """
 
 from __future__ import annotations
@@ -56,6 +82,7 @@ from __future__ import annotations
 import json
 import hashlib
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -95,6 +122,32 @@ def resolve_checkpointed(settings) -> bool:
     if explicit is None:
         return checkpoints_enabled()
     return bool(explicit)
+
+
+def resolve_checkpoint_shards(settings=None) -> int:
+    """The requested trace-chunk count per generation chain.
+
+    ``settings.checkpoint_shards`` wins when not ``None``; otherwise the
+    ``REPRO_CHECKPOINT_SHARDS`` environment variable applies.  ``0`` (also
+    any value <= 0, or nothing configured) means *auto*: the generation
+    planner sizes chunks from the worker count.  Purely an execution knob —
+    stitched sharded generation is bit-identical to the single pass, so it
+    never participates in snapshot or result-cache keys.
+    """
+    explicit = getattr(settings, "checkpoint_shards", None) \
+        if settings is not None else None
+    if explicit is None:
+        env = os.environ.get("REPRO_CHECKPOINT_SHARDS", "").strip()
+        if not env:
+            return 0
+        try:
+            explicit = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CHECKPOINT_SHARDS must be an integer (got {env!r}); "
+                "use 0 (or unset) to size shards from the worker count"
+            ) from None
+    return max(0, int(explicit))
 
 
 class CheckpointStore(ResultCache):
@@ -195,6 +248,23 @@ def window_key(workload: str, settings: "ExperimentSettings",
     return _digest(payload)
 
 
+def boundary_key(workload: str, settings: "ExperimentSettings",
+                 identities: Sequence[PolicyIdentity], position: int) -> str:
+    """Key of one generation chain's stitch handoff at ``position``.
+
+    Covers the chain's policy-group identity list (different groups at the
+    same boundary carry different policy state) on top of the shared
+    payload; boundary blobs are transient — consumed by the next chunk job
+    and discarded once the whole generation stage has stitched.
+    """
+    payload = _shared_payload(workload, settings)
+    payload["kind"] = "functional-boundary"
+    payload["position"] = position
+    payload["identities"] = [_identity_token(identity)
+                             for identity in identities]
+    return _digest(payload)
+
+
 def segment_store() -> Optional[CheckpointStore]:
     """The store used for the on-disk trace-segment memo, or ``None`` when
     checkpointing is disabled by the environment."""
@@ -240,6 +310,40 @@ def _assemble(settings: "ExperimentSettings", shared: SharedWarmState,
         last_writer=shared.last_writer,
         instructions_warmed=shared.instructions_warmed,
     )
+
+
+def shared_signature(shared: SharedWarmState) -> tuple:
+    """Canonical equality signature of one shared snapshot.
+
+    Composes the per-structure ``state_signature()`` methods (exactly the
+    structures :meth:`~repro.pipeline.core.OutOfOrderCore.import_state`
+    adopts), so two snapshots with equal signatures warm a detailed core
+    identically — the equality the stitched-vs-single-pass bit-identity
+    tests and the CI sharded-generation smoke assert per interval.
+    """
+    return (
+        shared.branch_unit.state_signature(),
+        shared.hierarchy.state_signature(),
+        shared.memory.state_signature(),
+        (shared.ssn_alloc.bits, shared.ssn_alloc.ssn_rename,
+         shared.ssn_alloc.ssn_commit, shared.ssn_alloc.wraps),
+        tuple(sorted(shared.last_writer.items())),
+        shared.instructions_warmed,
+    )
+
+
+@dataclass
+class BoundaryState:
+    """One generation chain's stitch handoff at a chunk boundary.
+
+    Carries the full resumable replay state — the shared half plus every
+    policy of the chain's group, warmed over ``[0, position)`` — so the
+    next chunk's worker continues the fold exactly where this one stopped.
+    """
+
+    shared: SharedWarmState
+    policies: List
+    position: int
 
 
 # --------------------------------------------------------------- generation --
@@ -331,50 +435,22 @@ def generate_checkpoints(store: CheckpointStore, workload: str,
     writes one shared snapshot (when ``write_shared``) and one policy
     snapshot per identity at each interval's detailed-warmup start.  Returns
     the number of snapshot points written.
-    """
-    from repro.harness.runner import make_policy
-    from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
 
+    This is the single-pass reference: it executes one
+    :class:`ShardJobSpec` covering the whole warming span, the same code
+    path sharded generation stitches in chunks — there is exactly one
+    emission implementation, so the two schemes cannot drift.
+    """
     plan = settings.sampling
     if plan is None:
         raise ValueError("settings carry no sampling plan")
     windows = plan.intervals(settings.instructions)
-    policies = [make_policy(config_name, sq_size=sq_size, predictors=predictors)
-                for config_name, sq_size, predictors in identities]
-    if policies:
-        warm_policies = policies
-    else:
-        # Shared-only regeneration: any policy drives the shared structures
-        # identically; a base policy is the cheapest stand-in.
-        from repro.lsu.policies import SQPolicy
-
-        warm_policies = [SQPolicy(sq_size=settings.sq_size)]
-    warmer = FunctionalWarmer(settings.core, policies=warm_policies)
-    position = 0
-    for window in windows:
-        target = window.detailed_start
-        while position < target:
-            chunk_end = min(target, position + TRACE_SEGMENT_UOPS)
-            # The pass streams every segment exactly once; bypass the disk
-            # segment memo so a paper-length generation cannot flood the
-            # store with segments no interval job will ever touch.
-            warmer.warm(build_workload_window(
-                workload, settings.instructions, settings.seed,
-                position, chunk_end, disk_memo=False))
-            position = chunk_end
-        if write_shared:
-            store.put(shared_key(workload, settings, window.index),
-                      _shared_snapshot(warmer.state))
-            # Memoise the interval's detailed window too (it is tiny next
-            # to the segments it straddles, and every configuration's
-            # interval job re-reads it).
-            store.put(window_key(workload, settings, window.index),
-                      interval_window_uops(workload, settings, window,
-                                           disk_memo=False))
-        for identity, policy in zip(identities, policies):
-            store.put(policy_key(workload, settings, identity, window.index),
-                      policy)
-    return len(windows)
+    span = windows[-1].detailed_start
+    return run_shard_job(ShardJobSpec(
+        workload=workload, settings=settings, identities=tuple(identities),
+        write_shared=write_shared, chunk_index=0, chunk_start=0,
+        chunk_end=span, last=True, boundaries=(0,),
+        directory=str(store.directory)))
 
 
 def interval_window_uops(workload: str, settings: "ExperimentSettings",
@@ -392,11 +468,320 @@ def interval_window_uops(workload: str, settings: "ExperimentSettings",
 
 
 def run_checkpoint_job(request: CheckpointJobSpec) -> int:
-    """Execute one generation request (engine pool workers call this)."""
+    """Execute one generation request as a single unsharded pass."""
     store = CheckpointStore(request.directory)
     return generate_checkpoints(store, request.workload, request.settings,
                                 request.identities,
                                 write_shared=request.write_shared)
+
+
+# ----------------------------------------------------------------- sharding --
+
+#: Trace segments a shard worker precomposes while its boundary handoff is
+#: still in flight (bounded well below the per-process segment-cache
+#: capacity so nothing precomposed is evicted before the warm loop reads
+#: it); chunks longer than this compose their tail during the warm.
+_PRECOMPOSE_SEGMENTS = 10
+
+#: How long a chunk job waits for its stitch handoff before falling back to
+#: an exact in-process prefix recompute.  Generous: the chain ahead of it is
+#: replaying real trace prefixes, and a premature fallback costs O(prefix).
+_BOUNDARY_WAIT_SECONDS = 900.0
+
+#: Poll cadence while waiting (the handoff lands as one atomic rename).
+_BOUNDARY_POLL_SECONDS = 0.01
+
+
+@dataclass(frozen=True)
+class ShardJobSpec:
+    """One stitched chunk of one generation chain, described by value.
+
+    A *chain* is a policy group's full-trace replay; ``boundaries`` lists
+    the chain's chunk start positions (segment-aligned, ``boundaries[0] ==
+    0``) and this job covers ``[chunk_start, chunk_end)``, emitting the
+    snapshots of every interval whose detailed-warmup start lies inside
+    (the ``last`` chunk also owns ``detailed_start == chunk_end``).  Jobs
+    with ``chunk_index > 0`` resume from the previous chunk's
+    :class:`BoundaryState`; jobs that are not ``last`` export their own at
+    ``chunk_end``.
+    """
+
+    workload: str
+    settings: "ExperimentSettings"
+    identities: Tuple[PolicyIdentity, ...]
+    write_shared: bool
+    chunk_index: int
+    chunk_start: int
+    chunk_end: int
+    last: bool
+    boundaries: Tuple[int, ...]
+    directory: str
+
+
+def plan_shard_jobs(store: CheckpointStore,
+                    requests: Sequence[CheckpointJobSpec],
+                    workers: int = 1,
+                    ) -> Tuple[List[ShardJobSpec], Dict[str, int]]:
+    """Decompose generation requests into a chunk-major shard-job list.
+
+    Each request (one workload group) is split along two axes:
+
+    * **policy groups** — its identities are dealt round-robin into up to
+      ``workers // len(requests)`` chains (policies are independent folds
+      over the shared replay stream, so per-group passes reproduce the one
+      multi-policy pass exactly); group 0 inherits the request's
+      ``write_shared`` duty (shared snapshots + window memos).
+    * **trace chunks** — each chain's warming span is cut on
+      ``TRACE_SEGMENT_UOPS`` boundaries into K contiguous chunks
+      (``REPRO_CHECKPOINT_SHARDS`` / ``settings.checkpoint_shards``;
+      *auto* sizes K to soak up workers left idle by the chain count),
+      stitched at run time through :class:`BoundaryState` handoffs.
+
+    The returned list is ordered chunk-major across every chain, which —
+    executed FIFO with ``chunksize=1`` — guarantees a job's handoff
+    producer is always dispatched before (or with) the job itself, so
+    in-worker boundary waits cannot deadlock the pool.
+    """
+    from repro.workloads.suites import TRACE_SEGMENT_UOPS
+
+    directory = str(store.directory)
+    chains: List[Tuple[CheckpointJobSpec, Tuple[PolicyIdentity, ...], bool]] = []
+    for request in requests:
+        identities = list(request.identities)
+        if not identities:
+            chains.append((request, (), request.write_shared))
+            continue
+        group_count = min(len(identities),
+                          max(1, workers // max(1, len(requests))))
+        for g in range(group_count):
+            chains.append((request, tuple(identities[g::group_count]),
+                           request.write_shared and g == 0))
+
+    per_chain: List[Tuple[List[int], Tuple]] = []
+    max_chunks = 1
+    for request, identities, write_shared in chains:
+        settings = request.settings
+        windows = settings.sampling.intervals(settings.instructions)
+        span = windows[-1].detailed_start
+        segments = max(1, -(-span // TRACE_SEGMENT_UOPS))
+        chunks = resolve_checkpoint_shards(settings)
+        if chunks <= 0:
+            chunks = max(1, workers // max(1, len(chains)))
+        chunks = min(chunks, segments)
+        base, extra = divmod(segments, chunks)
+        bounds = [0]
+        position = 0
+        for i in range(chunks):
+            position += base + (1 if i < extra else 0)
+            bounds.append(min(position * TRACE_SEGMENT_UOPS, span))
+        max_chunks = max(max_chunks, chunks)
+        per_chain.append((bounds, (request, identities, write_shared)))
+
+    jobs: List[ShardJobSpec] = []
+    for chunk_index in range(max_chunks):
+        for bounds, (request, identities, write_shared) in per_chain:
+            if chunk_index >= len(bounds) - 1:
+                continue
+            jobs.append(ShardJobSpec(
+                workload=request.workload, settings=request.settings,
+                identities=identities, write_shared=write_shared,
+                chunk_index=chunk_index,
+                chunk_start=bounds[chunk_index],
+                chunk_end=bounds[chunk_index + 1],
+                last=chunk_index == len(bounds) - 2,
+                boundaries=tuple(bounds[:-1]),
+                directory=directory))
+    return jobs, {
+        "checkpoint_chains": len(chains),
+        "checkpoint_shards": max_chunks,
+        "checkpoint_shard_jobs": len(jobs),
+    }
+
+
+def _fresh_policies(spec: ShardJobSpec) -> List:
+    from repro.harness.runner import make_policy
+
+    if spec.identities:
+        return [make_policy(config_name, sq_size=sq_size, predictors=predictors)
+                for config_name, sq_size, predictors in spec.identities]
+    # Shared-only regeneration: any policy drives the shared structures
+    # identically; a base policy is the cheapest stand-in.
+    from repro.lsu.policies import SQPolicy
+
+    return [SQPolicy(sq_size=spec.settings.sq_size)]
+
+
+def _load_boundary(spec: ShardJobSpec, store: CheckpointStore,
+                   position: int) -> Optional[BoundaryState]:
+    """Load and stitch-validate a boundary handoff (``None`` when absent,
+    corrupt, or inconsistent with this chain — all handled by fallback)."""
+    state = store.get(boundary_key(spec.workload, spec.settings,
+                                   spec.identities, position))
+    if (isinstance(state, BoundaryState)
+            and state.position == position
+            and len(state.policies) == max(1, len(spec.identities))
+            and state.shared.instructions_warmed == position):
+        return state
+    return None
+
+
+def _await_boundary(spec: ShardJobSpec,
+                    store: CheckpointStore) -> Optional[BoundaryState]:
+    """Wait for this chunk's handoff, precomposing the chunk meanwhile.
+
+    Trace composition is state-independent, so the wait is productive: the
+    worker seeds its per-process segment memo with the segments its warm
+    loop is about to read, which takes composition — the largest share of
+    the pass — off the sequential stitch chain.
+    """
+    from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
+
+    settings = spec.settings
+    segment = TRACE_SEGMENT_UOPS
+    next_segment = spec.chunk_start // segment
+    last_segment = max(spec.chunk_end - 1, spec.chunk_start) // segment
+    budget = _PRECOMPOSE_SEGMENTS
+    deadline = time.monotonic() + _BOUNDARY_WAIT_SECONDS
+    while True:
+        boundary = _load_boundary(spec, store, spec.chunk_start)
+        if boundary is not None:
+            return boundary
+        if budget > 0 and next_segment <= last_segment:
+            lo = next_segment * segment
+            hi = min(lo + segment, settings.instructions)
+            if hi > lo:
+                build_workload_window(spec.workload, settings.instructions,
+                                      settings.seed, lo, hi, disk_memo=False)
+            next_segment += 1
+            budget -= 1
+            continue
+        if time.monotonic() > deadline:
+            return None
+        time.sleep(_BOUNDARY_POLL_SECONDS)
+
+
+def _advance(warmer: FunctionalWarmer, spec: ShardJobSpec, position: int,
+             target: int) -> int:
+    """Warm ``[position, target)`` segment-aligned (the disk segment memo is
+    bypassed exactly as in the original single pass)."""
+    from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
+
+    settings = spec.settings
+    while position < target:
+        step = min(target,
+                   (position // TRACE_SEGMENT_UOPS + 1) * TRACE_SEGMENT_UOPS)
+        warmer.warm(build_workload_window(
+            spec.workload, settings.instructions, settings.seed,
+            position, step, disk_memo=False))
+        position = step
+    return position
+
+
+def _resume_warmer(spec: ShardJobSpec,
+                   store: CheckpointStore) -> FunctionalWarmer:
+    """A warmer holding the exact replay state at ``spec.chunk_start``.
+
+    Chunk 0 starts cold (fresh policies, the single pass's construction);
+    later chunks adopt their stitch handoff.  A handoff that never arrives
+    or fails validation walks back to the newest earlier boundary still
+    present — or to a cold start — and recomputes the exact prefix
+    in-process: slower, never wrong, never silently different.
+    """
+    settings = spec.settings
+    base: Optional[BoundaryState] = None
+    if spec.chunk_index > 0:
+        base = _await_boundary(spec, store)
+        if base is None:
+            for position in reversed(spec.boundaries[1:spec.chunk_index]):
+                base = _load_boundary(spec, store, position)
+                if base is not None:
+                    break
+    if base is None:
+        warmer = FunctionalWarmer(settings.core, policies=_fresh_policies(spec))
+        position = 0
+    else:
+        warmer = FunctionalWarmer(
+            settings.core, policies=base.policies,
+            state=_assemble(settings, base.shared, base.policies[0]),
+            start_index=base.position)
+        position = base.position
+    _advance(warmer, spec, position, spec.chunk_start)
+    return warmer
+
+
+def run_shard_job(spec: ShardJobSpec) -> int:
+    """Execute one stitched chunk job; returns snapshot points written.
+
+    Resumes the chain's replay at ``chunk_start``, emits the snapshots of
+    the intervals this chunk owns (shared + window memo when
+    ``write_shared``, one policy snapshot per group identity), and — unless
+    this is the chain's last chunk — warms through to ``chunk_end`` and
+    exports the next handoff.
+    """
+    store = CheckpointStore(spec.directory)
+    settings = spec.settings
+    plan = settings.sampling
+    if plan is None:
+        raise ValueError("shard spec has no sampling plan")
+    windows = plan.intervals(settings.instructions)
+    mine = [window for window in windows
+            if spec.chunk_start <= window.detailed_start < spec.chunk_end
+            or (spec.last and window.detailed_start == spec.chunk_end)]
+
+    warmer = _resume_warmer(spec, store)
+    position = spec.chunk_start
+    for window in mine:
+        position = _advance(warmer, spec, position, window.detailed_start)
+        if spec.write_shared:
+            store.put(shared_key(spec.workload, settings, window.index),
+                      _shared_snapshot(warmer.state))
+            # Memoise the interval's detailed window too (it is tiny next
+            # to the segments it straddles, and every configuration's
+            # interval job re-reads it).
+            store.put(window_key(spec.workload, settings, window.index),
+                      interval_window_uops(spec.workload, settings, window,
+                                           disk_memo=False))
+        for identity, policy in zip(spec.identities, warmer.policies):
+            store.put(policy_key(spec.workload, settings, identity,
+                                 window.index), policy)
+    if not spec.last:
+        position = _advance(warmer, spec, position, spec.chunk_end)
+        store.put(boundary_key(spec.workload, settings, spec.identities,
+                               spec.chunk_end),
+                  BoundaryState(shared=_shared_snapshot(warmer.state),
+                                policies=list(warmer.policies),
+                                position=spec.chunk_end))
+    return len(mine)
+
+
+def execute_generation(store: CheckpointStore,
+                       requests: Sequence[CheckpointJobSpec],
+                       jobs: int = 1) -> Dict[str, int]:
+    """Run the generation stage for ``requests``, sharded over ``jobs``.
+
+    Plans the (chunk x policy-group) shard grid, fans it out chunk-major
+    over a process pool (``chunksize=1`` keeps dispatch in plan order, the
+    deadlock-freedom invariant of in-worker boundary waits), then discards
+    the transient boundary handoffs — once stitched they are dead weight,
+    and sweeping them keeps CI-persisted stores lean.  Returns the shard
+    counters for the engine's ``last_run_stats``.
+    """
+    from repro.exec.engine import fork_pool
+
+    shard_jobs, stats = plan_shard_jobs(store, requests, workers=jobs)
+    workers = min(jobs, len(shard_jobs))
+    if workers > 1:
+        with fork_pool(workers) as pool:
+            for _ in pool.imap(run_shard_job, shard_jobs, 1):
+                pass
+    else:
+        for job in shard_jobs:
+            run_shard_job(job)
+    for job in shard_jobs:
+        if not job.last:
+            store.discard(boundary_key(job.workload, job.settings,
+                                       job.identities, job.chunk_end))
+    return stats
 
 
 # ------------------------------------------------------------------ loading --

@@ -84,11 +84,23 @@ class FunctionalWarmer:
     the shared structures are updated once per micro-op and every policy's
     training hooks run against them (``policy`` then defaults to the first
     entry, which :attr:`state` and :meth:`export_state` expose).
+
+    **Resumption**: passing ``state`` adopts an already-warmed
+    :class:`FunctionalState` (e.g. a shard-boundary snapshot from the
+    checkpoint store) instead of constructing cold structures, so a replay
+    can continue from an arbitrary trace position.  ``start_index`` must
+    then be the absolute dynamic-instruction index the adopted state was
+    warmed to; because :meth:`warm` is a deterministic fold over the
+    micro-op stream, warming ``[0, a)`` then resuming over ``[a, b)`` is
+    exactly the single pass over ``[0, b)`` — this is what makes stitched
+    sharded checkpoint generation bit-identical to the single-pass scheme
+    (:mod:`repro.sampling.checkpoints`).
     """
 
     def __init__(self, config: CoreConfig, policy: Optional[SQPolicy] = None,
                  start_index: int = 0,
-                 policies: Optional[Sequence[SQPolicy]] = None) -> None:
+                 policies: Optional[Sequence[SQPolicy]] = None,
+                 state: Optional[FunctionalState] = None) -> None:
         if policies is None:
             if policy is None:
                 raise ValueError("provide a policy (or a policies sequence)")
@@ -99,14 +111,21 @@ class FunctionalWarmer:
         self._policies: List[SQPolicy] = list(policies)
         if not self._policies:
             raise ValueError("at least one policy is required")
-        self.state = FunctionalState(
-            config=config,
-            branch_unit=BranchUnit(config.branch_predictor),
-            hierarchy=MemoryHierarchy(config.memory),
-            memory=MemoryImage(),
-            ssn_alloc=SSNAllocator(bits=config.ssn_bits),
-            policy=self._policies[0],
-        )
+        if state is not None:
+            # Adopt (not copy) the handed-off state; the caller owns it.
+            # Multi-policy resumption re-binds ``state.policy`` to the
+            # first listed policy so the bundle stays self-consistent.
+            state.policy = self._policies[0]
+            self.state = state
+        else:
+            self.state = FunctionalState(
+                config=config,
+                branch_unit=BranchUnit(config.branch_predictor),
+                hierarchy=MemoryHierarchy(config.memory),
+                memory=MemoryImage(),
+                ssn_alloc=SSNAllocator(bits=config.ssn_bits),
+                policy=self._policies[0],
+            )
         #: Dynamic instruction index of the next micro-op (used for the
         #: in-flight-window approximation; offsets into the full trace keep
         #: the distances meaningful when warming starts mid-trace).

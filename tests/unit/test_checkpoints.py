@@ -20,15 +20,22 @@ from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import OutOfOrderCore
 from repro.sampling import SamplingPlan
 from repro.sampling.checkpoints import (
+    BoundaryState,
     CheckpointStore,
+    boundary_key,
     checkpoints_enabled,
+    execute_generation,
     generate_checkpoints,
     load_interval_state,
     plan_generation,
+    plan_shard_jobs,
     policy_key,
+    resolve_checkpoint_shards,
     resolve_checkpointed,
+    run_shard_job,
     segment_key,
     shared_key,
+    shared_signature,
 )
 from repro.sampling.driver import (
     expand_sampled_spec,
@@ -353,3 +360,262 @@ class TestStateLoading:
         assert first.hierarchy is not second.hierarchy
         assert (first.policy.state_signature()
                 == second.policy.state_signature())
+
+
+# ---------------------------------------------------------------------------
+# Sharded generation (stitched boundary handoffs)
+# ---------------------------------------------------------------------------
+
+from repro.sampling import checkpoints as checkpoints_module  # noqa: E402
+from repro.workloads.suites import TRACE_SEGMENT_UOPS  # noqa: E402
+
+#: A multi-segment sampled run (5 segments) so shard counts 1/2/4 cut real
+#: segment-aligned chunks; detailed_warmup is sized so at least one chunk
+#: boundary lands strictly inside a warm-up window (asserted below).
+SHARD_PLAN = SamplingPlan(interval_length=600, detailed_warmup=4_000,
+                          period=16_384, functional_warmup=1_000, seed=1)
+SHARD_SETTINGS = ExperimentSettings(instructions=5 * TRACE_SEGMENT_UOPS,
+                                    stats_warmup_fraction=0.0,
+                                    sampling=SHARD_PLAN, checkpoints=True)
+SHARD_CONFIGS = ("oracle-associative-3", "indexed-3-fwd+dly")
+
+
+def _generation_requests(store, settings, configs=SHARD_CONFIGS):
+    specs = []
+    for config in configs:
+        specs.extend(expand_sampled_spec(
+            JobSpec(WORKLOAD, config, settings), checkpointed=True,
+            checkpoint_dir=str(store.directory)))
+    requests, _total = plan_generation(store, specs)
+    return requests
+
+
+def _store_signatures(store, settings, configs=SHARD_CONFIGS):
+    """(shared, per-policy) signatures of every interval snapshot."""
+    windows = settings.sampling.intervals(settings.instructions)
+    out = []
+    for window in windows:
+        shared = store.get(shared_key(WORKLOAD, settings, window.index))
+        assert shared is not None, f"missing shared snapshot {window.index}"
+        policies = []
+        for config in configs:
+            policy = store.get(policy_key(
+                WORKLOAD, settings, (config, settings.sq_size, None),
+                window.index))
+            assert policy is not None, f"missing policy {config}/{window.index}"
+            policies.append(policy.state_signature())
+        out.append((shared_signature(shared), tuple(policies)))
+    return out
+
+
+class TestResolveShards:
+    def test_settings_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_SHARDS", "8")
+        assert resolve_checkpoint_shards() == 8
+        explicit = dataclasses.replace(SETTINGS, checkpoint_shards=2)
+        assert resolve_checkpoint_shards(explicit) == 2
+
+    def test_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_SHARDS", raising=False)
+        assert resolve_checkpoint_shards() == 0
+        assert resolve_checkpoint_shards(SETTINGS) == 0
+
+    def test_nonpositive_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_SHARDS", "-3")
+        assert resolve_checkpoint_shards() == 0
+
+    def test_invalid_environment_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_SHARDS", "many")
+        with pytest.raises(ValueError, match="REPRO_CHECKPOINT_SHARDS"):
+            resolve_checkpoint_shards()
+
+    def test_execution_only_never_in_cache_keys(self):
+        base = IntervalJobSpec(WORKLOAD, CONFIG, SETTINGS, 0, checkpointed=True)
+        sharded = dataclasses.replace(
+            base, settings=dataclasses.replace(SETTINGS, checkpoint_shards=7))
+        assert job_key(base) == job_key(sharded)
+
+
+class TestShardPlanning:
+    def test_chunks_are_segment_aligned_and_chunk_major(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        settings = dataclasses.replace(SHARD_SETTINGS, checkpoint_shards=4)
+        jobs, stats = plan_shard_jobs(
+            store, _generation_requests(store, settings), workers=4)
+        assert stats["checkpoint_shards"] == 4
+        assert stats["checkpoint_chains"] == 2  # two configs, two chains
+        assert stats["checkpoint_shard_jobs"] == 8
+        span = settings.sampling.intervals(
+            settings.instructions)[-1].detailed_start
+        for job in jobs:
+            if not job.last:
+                assert job.chunk_end % TRACE_SEGMENT_UOPS == 0
+            else:
+                assert job.chunk_end == span
+        # Chunk-major dispatch order: a job's handoff producer always
+        # precedes it (the pool deadlock-freedom invariant).
+        indices = [job.chunk_index for job in jobs]
+        assert indices == sorted(indices)
+        # Exactly one chain carries the shared-emission duty.
+        assert sum(1 for job in jobs if job.write_shared and job.chunk_index == 0) == 1
+
+    def test_explicit_shards_clamped_to_segments(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        settings = dataclasses.replace(SETTINGS, checkpoint_shards=64)
+        spec = JobSpec(WORKLOAD, CONFIG, settings)
+        specs = expand_sampled_spec(spec, checkpointed=True,
+                                    checkpoint_dir=str(store.directory))
+        requests, _ = plan_generation(store, specs)
+        jobs, stats = plan_shard_jobs(store, requests, workers=4)
+        # 20k instructions -> a 2-segment trace cannot take 64 chunks.
+        assert stats["checkpoint_shards"] <= 2
+
+    def test_auto_soaks_up_idle_workers(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        requests = _generation_requests(store, SHARD_SETTINGS,
+                                        configs=(CONFIG,))
+        jobs, stats = plan_shard_jobs(store, requests, workers=4)
+        # One chain (one config): auto-sharding cuts ~one chunk per worker.
+        assert stats["checkpoint_chains"] == 1
+        assert stats["checkpoint_shards"] == 4
+
+    def test_serial_auto_is_the_single_pass(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        requests = _generation_requests(store, SHARD_SETTINGS)
+        jobs, stats = plan_shard_jobs(store, requests, workers=1)
+        assert stats == {"checkpoint_chains": 1, "checkpoint_shards": 1,
+                         "checkpoint_shard_jobs": 1}
+        assert jobs[0].identities == requests[0].identities
+        assert jobs[0].last and jobs[0].chunk_start == 0
+
+
+class TestStitchedBitIdentity:
+    """Stitched sharded generation == the single pass, snapshot for
+    snapshot, across shard counts 1/2/4 — including a chunk boundary
+    landing strictly inside a detailed warm-up window."""
+
+    @pytest.fixture(scope="class")
+    def stores(self, tmp_path_factory):
+        stores = {}
+        for shards in (1, 2, 4):
+            store = CheckpointStore(
+                tmp_path_factory.mktemp(f"shards-{shards}"))
+            settings = dataclasses.replace(SHARD_SETTINGS,
+                                           checkpoint_shards=shards)
+            requests = _generation_requests(store, settings)
+            stats = execute_generation(store, requests, jobs=1)
+            assert stats["checkpoint_shards"] == min(shards, 5)
+            stores[shards] = (store, settings)
+        return stores
+
+    def test_a_boundary_lands_mid_warmup_window(self, stores, tmp_path):
+        _, settings = stores[4]
+        cold = CheckpointStore(tmp_path)  # planning needs unmet requests
+        jobs, _ = plan_shard_jobs(
+            cold, _generation_requests(cold, settings), workers=1)
+        bounds = {job.chunk_end for job in jobs if not job.last}
+        windows = settings.sampling.intervals(settings.instructions)
+        assert any(w.detailed_start < bound < w.measure_end
+                   for bound in bounds for w in windows), \
+            "layout regression: no chunk boundary inside a warm-up window"
+
+    def test_snapshots_identical_across_shard_counts(self, stores):
+        reference = _store_signatures(*stores[1])
+        assert _store_signatures(*stores[2]) == reference
+        assert _store_signatures(*stores[4]) == reference
+
+    def test_no_boundary_strays_left_in_store(self, stores):
+        assert len(stores[4][0]) == len(stores[1][0])
+
+    def test_resumed_warmer_equals_straight_replay(self):
+        from repro.pipeline.config import CoreConfig as _CoreConfig
+
+        uops = build_workload(WORKLOAD, 6_000, seed=1).uops
+        straight = FunctionalWarmer(_CoreConfig(), make_policy(CONFIG))
+        straight.warm(uops)
+        first = FunctionalWarmer(_CoreConfig(), make_policy(CONFIG))
+        first.warm(uops[:2_500])
+        handoff = pickle.loads(pickle.dumps(first.export_state()))
+        resumed = FunctionalWarmer(_CoreConfig(), policies=[handoff.policy],
+                                   state=handoff, start_index=2_500)
+        resumed.warm(uops[2_500:])
+        a, b = straight.state, resumed.state
+        assert a.branch_unit.state_signature() == b.branch_unit.state_signature()
+        assert a.hierarchy.state_signature() == b.hierarchy.state_signature()
+        assert a.memory.state_signature() == b.memory.state_signature()
+        assert a.policy.state_signature() == b.policy.state_signature()
+        assert a.last_writer == b.last_writer
+        assert a.instructions_warmed == b.instructions_warmed
+
+
+class TestStitchFallback:
+    """A handoff that never arrives (or is damaged) must degrade to an
+    exact in-process recompute — never a hang, never a different state."""
+
+    @pytest.fixture()
+    def fast_timeout(self, monkeypatch):
+        monkeypatch.setattr(checkpoints_module, "_BOUNDARY_WAIT_SECONDS", 0.05)
+        monkeypatch.setattr(checkpoints_module, "_BOUNDARY_POLL_SECONDS", 0.001)
+
+    def _shard_jobs(self, store, shards=2):
+        settings = dataclasses.replace(SHARD_SETTINGS, checkpoint_shards=shards)
+        jobs, _ = plan_shard_jobs(
+            store, _generation_requests(store, settings, configs=(CONFIG,)),
+            workers=1)
+        return jobs, settings
+
+    def test_missing_handoff_recomputes_exactly(self, tmp_path, fast_timeout):
+        reference = CheckpointStore(tmp_path / "reference")
+        settings = dataclasses.replace(SHARD_SETTINGS, checkpoint_shards=1)
+        execute_generation(
+            reference, _generation_requests(reference, settings,
+                                            configs=(CONFIG,)), jobs=1)
+
+        store = CheckpointStore(tmp_path / "orphaned")
+        jobs, sharded_settings = self._shard_jobs(store)
+        # Run only the *second* chunk: its producer never ran, so the
+        # handoff never appears and the job must recompute the prefix.
+        run_shard_job(jobs[1])
+        windows = sharded_settings.sampling.intervals(
+            sharded_settings.instructions)
+        emitted = [w for w in windows
+                   if w.detailed_start > jobs[1].chunk_start]
+        assert emitted, "second chunk owns no interval - bad layout"
+        for window in emitted:
+            ours = store.get(shared_key(WORKLOAD, sharded_settings,
+                                        window.index))
+            theirs = reference.get(shared_key(WORKLOAD, settings,
+                                              window.index))
+            assert shared_signature(ours) == shared_signature(theirs)
+
+    def test_corrupt_handoff_is_rejected_and_recomputed(self, tmp_path,
+                                                        fast_timeout):
+        store = CheckpointStore(tmp_path)
+        jobs, settings = self._shard_jobs(store)
+        run_shard_job(jobs[0])
+        key = boundary_key(WORKLOAD, settings, jobs[0].identities,
+                           jobs[0].chunk_end)
+        assert store.contains(key)
+        good = store.get(key)
+        assert isinstance(good, BoundaryState)
+        # Truncate the handoff mid-blob: stitch validation must reject it.
+        path = store._path(key)
+        path.write_bytes(path.read_bytes()[:40])
+        run_shard_job(jobs[1])  # falls back, still emits every snapshot
+        windows = settings.sampling.intervals(settings.instructions)
+        for window in windows:
+            assert store.contains(shared_key(WORKLOAD, settings, window.index))
+
+
+class TestShardedEngineStats:
+    def test_engine_reports_shard_counters(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "1")
+        settings = dataclasses.replace(SETTINGS, checkpoint_shards=2)
+        engine = ExperimentEngine(jobs=1, cache=False,
+                                  checkpoint_dir=tmp_path)
+        engine.run([JobSpec(WORKLOAD, CONFIG, settings)])
+        stats = engine.last_run_stats
+        assert stats["checkpoint_passes"] == 1
+        assert stats["checkpoint_shards"] == 2
+        assert stats["checkpoint_shard_jobs"] == 2
+        assert stats["checkpoint_chains"] == 1

@@ -10,6 +10,7 @@ from repro.exec import (
     ExperimentEngine,
     JobSpec,
     ResultCache,
+    available_cpus,
     job_key,
     resolve_jobs,
     run_job,
@@ -36,9 +37,26 @@ class TestResolveJobs:
         assert resolve_jobs(2) == 2
 
     def test_nonpositive_means_all_cpus(self, monkeypatch):
-        import os
         monkeypatch.setenv("REPRO_JOBS", "0")
-        assert resolve_jobs() == (os.cpu_count() or 1)
+        assert resolve_jobs() == available_cpus()
+
+    def test_all_cpus_respects_affinity(self, monkeypatch):
+        """"All CPUs" is the CPUs *this process* may run on, not the
+        machine total — cgroup/affinity-limited runners must not be
+        oversubscribed."""
+        import os
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpus() == 2
+        monkeypatch.setenv("REPRO_JOBS", "-1")
+        assert resolve_jobs() == 2
+
+    def test_affinity_unavailable_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert available_cpus() == 6
 
     def test_settings_plumbing(self):
         engine = ExperimentEngine.from_settings(
@@ -105,6 +123,66 @@ class TestResultCache:
         cache = ResultCache()
         cache.put("k", 1)
         assert (tmp_path / "elsewhere" / "k.pkl").exists()
+
+
+class TestTmpStrayHygiene:
+    """A worker SIGKILLed mid-``put`` strands a ``*.tmp`` blob no ``except``
+    ever sees; strays must stay invisible to lookups, be swept when stale,
+    and never outlive ``clear()``."""
+
+    @staticmethod
+    def _orphan(tmp_path, name="orphan.tmp", age_seconds=0.0):
+        import os
+        import time
+
+        path = tmp_path / name
+        path.write_bytes(b"half-written entry")
+        if age_seconds:
+            stamp = time.time() - age_seconds
+            os.utime(path, (stamp, stamp))
+        return path
+
+    @pytest.fixture(autouse=True)
+    def _fresh_sweep_state(self, monkeypatch):
+        from repro.exec import cache as cache_module
+
+        monkeypatch.setattr(cache_module, "_SWEPT_DIRS", set())
+
+    def test_strays_are_invisible_to_len_and_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", 1)
+        self._orphan(tmp_path)
+        assert len(cache) == 1
+        assert all(p.suffix == ".pkl" for p in cache._entries())
+
+    def test_construction_sweeps_stale_strays_only(self, tmp_path):
+        stale = self._orphan(tmp_path, "stale.tmp", age_seconds=7200.0)
+        fresh = self._orphan(tmp_path, "fresh.tmp")  # a write in flight
+        ResultCache(tmp_path)
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_sweep_runs_once_per_directory_per_process(self, tmp_path):
+        ResultCache(tmp_path)
+        stale = self._orphan(tmp_path, "late.tmp", age_seconds=7200.0)
+        ResultCache(tmp_path)  # same directory: hygiene, not per-job work
+        assert stale.exists()
+
+    def test_clear_sweeps_strays_beyond_a_short_grace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", 1)
+        stray = self._orphan(tmp_path, "stray.tmp", age_seconds=120.0)
+        in_flight = self._orphan(tmp_path, "inflight.tmp")  # another process
+        assert cache.clear() == 1  # entry count: strays are not entries
+        assert not stray.exists()
+        assert in_flight.exists()  # never race a live writer's os.replace
+
+    def test_discard_is_silent_on_missing_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", 1)
+        assert cache.discard("k")
+        assert not cache.discard("k")
+        assert cache.get("k") is None
 
 
 class TestEngine:
