@@ -1,0 +1,169 @@
+"""Benchmark: detailed-path throughput, before vs after the two-plane refactor.
+
+Measures serial detailed-simulation throughput (uops/sec, ``idle_skip`` on)
+of one Figure-4 cell — the paper's ``vortex`` workload under the
+``indexed-3-fwd+dly`` configuration — three ways:
+
+* **legacy** — the frozen seed stack (``legacy_ref/``: pre-refactor
+  ``MicroOp``-object trace composer, attribute-probing core loop, and
+  pre-optimisation substrate, all verbatim): the *before* leg, re-measured
+  on the same machine at bench time so the recorded ratio is
+  hardware-independent;
+* **object path** — the production core's back-compat path driven by
+  materialised :class:`~repro.isa.uop.MicroOp` views;
+* **encoded** — the production static-plane fast path
+  (:class:`~repro.isa.plane.EncodedOps`): the *after* leg and the headline
+  trajectory number.
+
+Each leg's uops/sec covers trace materialisation *plus* simulation (the
+detailed path as a user pays for it); all three legs must produce
+bit-identical statistics before any ratio is reported.  The measurements
+land in ``BENCH_core.json`` at the repo root (envelope records
+``cpus_available`` like the other trajectory files).
+"""
+
+import gc
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import write_bench_json  # noqa: E402
+import legacy_ref  # noqa: E402
+from legacy_ref import suites as legacy_suites  # noqa: E402
+
+from repro.harness.runner import ExperimentSettings, make_policy  # noqa: E402
+from repro.isa.trace import DynamicTrace  # noqa: E402
+from repro.pipeline.core import OutOfOrderCore  # noqa: E402
+from repro.workloads.suites import build_workload  # noqa: E402
+from repro.workloads import suites  # noqa: E402
+
+#: The Figure-4 cell under test.
+WORKLOAD = "vortex"
+CONFIG = "indexed-3-fwd+dly"
+
+#: Long enough that per-uop costs dominate fixed overheads; the trace
+#: crosses several 16384-uop segment boundaries.
+CORE_BENCH_INSTRUCTIONS = 60_000
+
+#: Timed repetitions per leg; the median is recorded (robust against the
+#: one-sided wall-clock outliers of shared/throttling machines without
+#: rewarding a lucky fastest rep on either side of the ratio).
+REPEATS = 3
+
+
+def _stats_signature(result):
+    return tuple(sorted(result.stats.as_dict().items()))
+
+
+def _timed(leg, repeats=REPEATS):
+    """Median-of-N timing with cross-leg GC isolation.
+
+    The collector runs normally *inside* each timed region — allocator and
+    collector pressure are part of what the two-plane encoding removes, so
+    quiescing the GC would hide a real component of the win.  What must not
+    leak between legs is heap debris: survivors of earlier legs would make
+    later legs' collections scan ever more memory.  ``gc.freeze()`` parks
+    the pre-leg heap outside the collector for the duration of the region,
+    so every leg pays exactly its own GC cost.
+    """
+    times = []
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.freeze()
+        try:
+            start = time.perf_counter()
+            result = leg()
+            times.append(time.perf_counter() - start)
+        finally:
+            gc.unfreeze()
+    return result, statistics.median(times)
+
+
+def measure_core_throughput(instructions=CORE_BENCH_INSTRUCTIONS, seed=1):
+    """Measure the three legs; asserts bit-identity, returns the metrics."""
+    settings = ExperimentSettings(instructions=instructions)
+    assert settings.core.idle_skip, "bench contract: idle_skip on"
+
+    def legacy_leg():
+        # Before: seed composer (per-uop MicroOp construction) + seed core
+        # on the seed substrate, verbatim.  Cold segment memo, like the
+        # production legs below.
+        legacy_suites._SEGMENT_CACHE.clear()
+        trace = legacy_ref.build_workload(WORKLOAD, instructions=instructions,
+                                          seed=seed)
+        core = legacy_ref.OutOfOrderCore(
+            settings.core, legacy_ref.IndexedSQPolicy(sq_size=settings.sq_size,
+                                                      use_delay=True))
+        return core.run(trace,
+                        stats_warmup_fraction=settings.stats_warmup_fraction)
+
+    def object_leg():
+        # Production core's back-compat loop over materialised MicroOp views.
+        suites._SEGMENT_CACHE.clear()
+        encoded = build_workload(WORKLOAD, instructions=instructions, seed=seed)
+        trace = DynamicTrace(name=WORKLOAD, uops=encoded.uops)
+        core = OutOfOrderCore(settings.core,
+                              make_policy(CONFIG, sq_size=settings.sq_size))
+        return core.run(trace,
+                        stats_warmup_fraction=settings.stats_warmup_fraction)
+
+    def encoded_leg():
+        # After: static-plane fast path, no per-uop objects anywhere.
+        suites._SEGMENT_CACHE.clear()
+        encoded = build_workload(WORKLOAD, instructions=instructions, seed=seed)
+        core = OutOfOrderCore(settings.core,
+                              make_policy(CONFIG, sq_size=settings.sq_size))
+        return core.run(encoded,
+                        stats_warmup_fraction=settings.stats_warmup_fraction)
+
+    legacy_result, legacy_s = _timed(legacy_leg)
+    object_result, object_s = _timed(object_leg)
+    encoded_result, encoded_s = _timed(encoded_leg)
+
+    reference = _stats_signature(legacy_result)
+    assert _stats_signature(encoded_result) == reference, \
+        "two-plane core diverged from the frozen seed stack"
+    assert _stats_signature(object_result) == reference, \
+        "object path diverged from the frozen seed stack"
+
+    uops = instructions
+    return {
+        "workload": WORKLOAD,
+        "config": CONFIG,
+        "core_instructions": instructions,
+        "legacy_s": round(legacy_s, 3),
+        "object_path_s": round(object_s, 3),
+        "encoded_s": round(encoded_s, 3),
+        "legacy_uops_per_sec": round(uops / legacy_s, 1),
+        "object_path_uops_per_sec": round(uops / object_s, 1),
+        "encoded_uops_per_sec": round(uops / encoded_s, 1),
+        "speedup_vs_legacy": round(legacy_s / encoded_s, 3),
+        "speedup_vs_object_path": round(object_s / encoded_s, 3),
+    }
+
+
+def assert_core_throughput(data):
+    """The acceptance bar: the two-plane detailed path is >= 1.5x the frozen
+    seed stack on the Figure-4 cell (bit-identity is asserted inside the
+    measurement)."""
+    assert data["speedup_vs_legacy"] >= 1.5, data
+
+
+def test_core_throughput():
+    data = measure_core_throughput()
+    assert_core_throughput(data)
+    path = write_bench_json("core", {"wall_time_s": data["legacy_s"]
+                                     + data["object_path_s"]
+                                     + data["encoded_s"], **data})
+    print(f"\ncore throughput: encoded {data['encoded_uops_per_sec']:,.0f} uops/s, "
+          f"legacy {data['legacy_uops_per_sec']:,.0f} uops/s "
+          f"(x{data['speedup_vs_legacy']} vs pre-refactor seed, "
+          f"x{data['speedup_vs_object_path']} vs object path) -> {path.name}")
+
+
+if __name__ == "__main__":
+    test_core_throughput()

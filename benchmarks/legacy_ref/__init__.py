@@ -1,0 +1,35 @@
+"""Frozen seed simulator: the *before* leg of the core-throughput bench.
+
+The complete pre-refactor detailed-simulation stack — trace ISA, workload
+composer, predictors, LSU, memory system, and the attribute-probing
+out-of-order core — exactly as it stood at the PR 4 seed, with only module
+paths rewritten (``repro.*`` -> ``legacy_ref.*``).  It is fully
+self-contained, so substrate optimisations landing in ``src/repro`` can
+never leak into the "before" measurement.
+
+``bench_core_throughput.py`` runs this package against the production
+two-plane stack on the same machine at bench time, so the recorded
+before-vs-after ratio is hardware-independent — and asserts the two stacks
+produce bit-identical statistics.
+
+Benchmark-only reference code: never imported by ``src/repro``, never
+maintained for new features.  If simulator semantics change intentionally,
+regenerate these files from the then-current sources (and regenerate the
+golden files) rather than patching them piecemeal.
+"""
+
+from legacy_ref.core import OutOfOrderCore
+from legacy_ref.policies import (
+    AssociativeStoreSetsPolicy,
+    IndexedSQPolicy,
+    OracleAssociativePolicy,
+)
+from legacy_ref.suites import build_workload
+
+__all__ = [
+    "AssociativeStoreSetsPolicy",
+    "IndexedSQPolicy",
+    "OracleAssociativePolicy",
+    "OutOfOrderCore",
+    "build_workload",
+]

@@ -1,0 +1,256 @@
+# Frozen seed reference (src/repro/frontend/branch_predictor.py @ PR 4) — see legacy_ref/__init__.py.
+"""Branch direction predictors.
+
+Implements two-bit saturating counters, a bimodal table, a gshare table, and
+the hybrid (chooser-based) combination used by the paper's baseline
+processor.  The pipeline queries the predictor at fetch and updates it at
+branch resolution; a misprediction redirects the front end after the branch
+executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter.
+
+    Counters start at the weakly-taken / weakly-not-taken boundary so the
+    predictor warms quickly in either direction.
+    """
+
+    def __init__(self, bits: int = 2, initial: int | None = None) -> None:
+        if bits < 1:
+            raise ValueError("counter must have at least one bit")
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self.value = self.threshold if initial is None else initial
+        if not 0 <= self.value <= self.max_value:
+            raise ValueError("initial counter value out of range")
+
+    def increment(self) -> None:
+        if self.value < self.max_value:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            self.increment()
+        else:
+            self.decrement()
+
+    @property
+    def predict_taken(self) -> bool:
+        return self.value >= self.threshold
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value in (0, self.max_value)
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Sizes of the hybrid predictor components (paper defaults)."""
+
+    bimodal_entries: int = 4096
+    gshare_entries: int = 4096
+    chooser_entries: int = 4096
+    history_bits: int = 12
+    counter_bits: int = 2
+
+    def __post_init__(self) -> None:
+        for n in (self.bimodal_entries, self.gshare_entries, self.chooser_entries):
+            if n <= 0 or n & (n - 1):
+                raise ValueError("predictor table sizes must be powers of two")
+        if not 1 <= self.history_bits <= 32:
+            raise ValueError("history bits must be between 1 and 32")
+
+
+class _CounterTable:
+    """A table of two-bit counters stored as plain integers for speed."""
+
+    def __init__(self, entries: int, bits: int) -> None:
+        self._mask = entries - 1
+        self._max = (1 << bits) - 1
+        self._threshold = 1 << (bits - 1)
+        self._table: List[int] = [self._threshold] * entries
+
+    def predict(self, index: int) -> bool:
+        return self._table[index & self._mask] >= self._threshold
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self._mask
+        v = self._table[i]
+        if taken:
+            if v < self._max:
+                self._table[i] = v + 1
+        elif v > 0:
+            self._table[i] = v - 1
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the counter values."""
+        return tuple(self._table)
+
+
+class BimodalPredictor:
+    """PC-indexed table of saturating counters."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        self._table = _CounterTable(entries, counter_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(pc >> 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(pc >> 2, taken)
+
+    def state_signature(self) -> tuple:
+        return self._table.state_signature()
+
+
+class GSharePredictor:
+    """Global-history-XOR-PC indexed table of saturating counters."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12, counter_bits: int = 2) -> None:
+        self._table = _CounterTable(entries, counter_bits)
+        self._history_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self.history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self._index(pc), taken)
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+
+    def state_signature(self) -> tuple:
+        return (self._table.state_signature(), self.history)
+
+
+class HybridPredictor:
+    """gshare/bimodal hybrid with a PC-indexed chooser.
+
+    The chooser counter selects between the component predictions; it is
+    trained toward whichever component was correct when they disagree.
+    """
+
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        self.bimodal = BimodalPredictor(self.config.bimodal_entries, self.config.counter_bits)
+        self.gshare = GSharePredictor(self.config.gshare_entries, self.config.history_bits,
+                                      self.config.counter_bits)
+        self._chooser = _CounterTable(self.config.chooser_entries, self.config.counter_bits)
+
+    def predict(self, pc: int) -> bool:
+        use_gshare = self._chooser.predict(pc >> 2)
+        return self.gshare.predict(pc) if use_gshare else self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_pred = self.bimodal.predict(pc)
+        gshare_pred = self.gshare.predict(pc)
+        if bimodal_pred != gshare_pred:
+            # Train the chooser toward the component that was right.
+            self._chooser.update(pc >> 2, gshare_pred == taken)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of all three component tables."""
+        return (self.bimodal.state_signature(),
+                self.gshare.state_signature(),
+                self._chooser.state_signature())
+
+
+class BranchUnit:
+    """Front-end branch handling façade.
+
+    Combines the hybrid direction predictor, BTB, and RAS into a single
+    ``predict``/``resolve`` interface.  The pipeline treats a branch as
+    mispredicted when either the predicted direction is wrong or a taken
+    branch misses in the BTB (no target available at fetch).
+    """
+
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        # Imported here to avoid a circular import at package load time.
+        from legacy_ref.btb import BranchTargetBuffer
+        from legacy_ref.ras import ReturnAddressStack
+
+        self.direction = HybridPredictor(config)
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack()
+        self.predictions = 0
+        self.mispredictions = 0
+        self.btb_misses = 0
+
+    def predict_and_resolve(self, pc: int, taken: bool, target: int | None,
+                            is_call: bool = False, is_return: bool = False) -> bool:
+        """Predict a branch and immediately resolve it against the trace.
+
+        Returns True when the branch was *mispredicted* (direction wrong, or
+        taken with no BTB/RAS-supplied target).  The structures are updated
+        with the actual outcome, so a subsequent instance of the same branch
+        sees trained state.
+        """
+        self.predictions += 1
+        mispredicted = False
+
+        if is_return:
+            predicted_target = self.ras.pop()
+            if not taken:
+                mispredicted = self.direction.predict(pc)
+            else:
+                mispredicted = predicted_target != target
+        else:
+            predicted_taken = self.direction.predict(pc)
+            if predicted_taken != taken:
+                mispredicted = True
+            elif taken:
+                predicted_target = self.btb.lookup(pc)
+                if predicted_target is None or (target is not None and predicted_target != target):
+                    self.btb_misses += 1
+                    mispredicted = True
+
+        # Update state with the actual outcome.
+        self.direction.update(pc, taken)
+        if taken and target is not None:
+            self.btb.insert(pc, target)
+        if is_call:
+            self.ras.push(pc + 4)
+
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+    def reset_stats(self) -> None:
+        """Reset the activity counters, keeping all predictive state warm.
+
+        Used when functionally warmed state is imported into a detailed
+        core so per-interval reports cover only their own predictions.
+        """
+        self.predictions = 0
+        self.mispredictions = 0
+        self.btb_misses = 0
+
+    def direction_state_signature(self) -> tuple:
+        """Hashable snapshot of the direction-predictor tables (tests use
+        this to compare functionally warmed state against detailed state)."""
+        return self.direction.state_signature()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the whole front end (direction + BTB + RAS);
+        used to assert checkpoint export/import round trips are exact."""
+        return (self.direction.state_signature(),
+                self.btb.state_signature(),
+                self.ras.state_signature())

@@ -1,0 +1,874 @@
+# Frozen seed reference (src/repro/pipeline/core.py @ PR 4) — see legacy_ref/__init__.py.
+"""Cycle-level out-of-order core.
+
+The core replays a dynamic micro-op trace through a model of the paper's
+machine: an 8-wide rename/issue/commit pipeline with a 512-entry ROB,
+300-entry issue queue, 128-entry load queue, and 64-entry store queue
+(Section 4.1).  The store-queue access behaviour — associative vs. indexed,
+ideal vs. realistic latency, with or without delay prediction — is supplied
+by an :class:`~legacy_ref.policies.SQPolicy`.
+
+Modelling notes (and deliberate simplifications, shared by *all*
+configurations so relative comparisons are preserved):
+
+* The model is trace driven: wrong-path instructions are not fetched.  A
+  mispredicted branch instead blocks fetch until the branch resolves plus a
+  front-end redirect penalty, the standard trace-driven treatment.
+* Scheduler replay is modelled as a penalty added to a load's value-broadcast
+  time whenever its actual latency exceeds the latency the scheduler assumed
+  when speculatively waking dependants (cache misses, and SQ forwarding when
+  the SQ is slower than the cache), plus a replay counter.
+* Re-execution-detected violations (memory-ordering violations and the
+  indexed SQ's mis-forwardings) flush everything younger than the offending
+  load; the load itself commits with the re-executed (correct) value.
+* Fetch and decode are folded into dispatch: up to ``rename_width`` trace
+  micro-ops enter the window per cycle, at most one taken branch per cycle,
+  provided no redirect is pending and no structure is full.  The explicit
+  front-end depth appears only in the redirect/flush penalties.
+
+Performance notes (PR 1): the cycle loop is event-aware.  When nothing is
+ready to issue and dispatch cannot make progress, the clock jumps directly
+to the next cycle at which anything can happen (a pending completion, the
+commit-delay expiry of the ROB head, or the fetch-redirect resume point);
+the skipped cycles are attributed to the same stall counters the
+straight-line loop would have charged, so statistics are bit-identical
+(``CoreConfig.idle_skip`` disables the fast-forward for A/B checking).
+The ready queue is split into one heap per issue class so that entries
+blocked only by a per-class bandwidth limit are never popped and re-pushed
+cycle after cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from legacy_ref.branch_predictor import BranchUnit
+from legacy_ref.trace import DynamicTrace
+from legacy_ref.uop import DEFAULT_LATENCIES, MicroOp, OpClass
+from legacy_ref.load_queue import LoadQueue
+from legacy_ref.policies import LoadCommitInfo, LoadPrediction, SQPolicy
+from legacy_ref.store_queue import StoreQueue
+from legacy_ref.hierarchy import MemoryHierarchy
+from legacy_ref.image import MemoryImage
+from legacy_ref.ssn import SSNAllocator
+from legacy_ref.config import CoreConfig
+from legacy_ref.rename import ARCH_READY, RegisterAliasTable
+from legacy_ref.rob import ReorderBuffer
+from legacy_ref.stats import SimStats
+
+
+#: Issue-bandwidth class of each op class (budget buckets of ``IssueLimits``).
+_ISSUE_CLASS = {
+    OpClass.INT_ALU: "int",
+    OpClass.INT_MUL: "int",
+    OpClass.NOP: "int",
+    OpClass.FP_ALU: "fp",
+    OpClass.FP_MUL: "fp",
+    OpClass.FP_DIV: "fp",
+    OpClass.BRANCH: "branch",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+}
+
+_ISSUE_CLASS_KEYS = ("int", "fp", "branch", "load", "store")
+
+
+class _Inflight:
+    """Per-dynamic-instruction record (kept lean; this is the hot structure)."""
+
+    __slots__ = (
+        "seq", "uop", "squashed", "issue_class",
+        # scheduling state
+        "wait_srcs", "wait_fwd", "wait_dly", "issued", "completed",
+        "consumers", "ready_pushed",
+        # timing
+        "dispatch_cycle", "other_ready_cycle", "dly_clear_cycle",
+        "issue_cycle", "completion_cycle",
+        # rename repair
+        "rat_undo",
+        # store state
+        "ssn", "sat_undo", "oracle_undo",
+        # load state
+        "prediction", "ssn_at_rename", "oracle_dep_ssn",
+        "spec_value", "forwarded", "forward_ssn", "svw_ssn", "should_forward",
+        "fwd_waiters", "delay_cycles",
+        # branch state
+        "mispredicted",
+    )
+
+    def __init__(self, seq: int, uop: MicroOp) -> None:
+        self.seq = seq
+        self.uop = uop
+        self.issue_class = _ISSUE_CLASS[uop.op_class]
+        self.squashed = False
+        self.wait_srcs = 0
+        self.wait_fwd = False
+        self.wait_dly = False
+        self.issued = False
+        self.completed = False
+        self.consumers: List["_Inflight"] = []
+        self.ready_pushed = False
+        self.dispatch_cycle = 0
+        self.other_ready_cycle = -1
+        self.dly_clear_cycle = -1
+        self.issue_cycle = -1
+        self.completion_cycle = -1
+        self.rat_undo: Optional[Tuple[int, int]] = None
+        self.ssn = 0
+        self.sat_undo = None
+        self.oracle_undo: Optional[Dict[int, Optional[Tuple[int, int]]]] = None
+        self.prediction: Optional[LoadPrediction] = None
+        self.ssn_at_rename = 0
+        self.oracle_dep_ssn = 0
+        self.spec_value = 0
+        self.forwarded = False
+        self.forward_ssn = 0
+        self.svw_ssn = 0
+        self.should_forward = False
+        self.fwd_waiters: List["_Inflight"] = []
+        self.delay_cycles = 0
+        self.mispredicted = False
+
+
+@dataclass
+class SimulationResult:
+    """Result of simulating one trace under one SQ configuration."""
+
+    workload: str
+    policy: str
+    stats: SimStats
+    config: CoreConfig
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class OutOfOrderCore:
+    """Trace-driven cycle-level model of the paper's processor."""
+
+    #: Abort if no instruction commits for this many consecutive cycles.
+    DEADLOCK_LIMIT = 50_000
+
+    def __init__(self, config: CoreConfig, policy: SQPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self.stats = SimStats()
+
+        self.hierarchy = MemoryHierarchy(config.memory)
+        self.memory = MemoryImage()
+        self.branch_unit = BranchUnit(config.branch_predictor)
+        self.rat = RegisterAliasTable()
+        self.rob = ReorderBuffer(config.rob_size)
+        self.load_queue = LoadQueue(config.load_queue_size)
+        self.store_queue = StoreQueue(config.store_queue_size)
+        self.ssn_alloc = SSNAllocator(bits=config.ssn_bits)
+
+        # Dynamic state.
+        self._cycle = 0
+        self._fetch_seq = 0
+        self._fetch_resume_cycle = 0
+        self._fetch_blocked_on: Optional[_Inflight] = None
+        self._iq_occupancy = 0
+        self._records: Dict[int, _Inflight] = {}
+        self._store_by_ssn: Dict[int, _Inflight] = {}
+        self._dly_waiters: Dict[int, List[_Inflight]] = {}
+        # One ready heap per issue class; entries blocked only by per-class
+        # bandwidth stay put instead of being popped and re-pushed every cycle.
+        self._ready: Dict[str, List[Tuple[int, int, _Inflight]]] = {
+            key: [] for key in _ISSUE_CLASS_KEYS}
+        self._ready_tiebreak = 0
+        self._completions: Dict[int, List[_Inflight]] = {}
+        # Oracle last-writer tracker: byte address -> (seq, ssn) of the
+        # youngest dispatched store writing that byte.
+        self._last_writer: Dict[int, Tuple[int, int]] = {}
+
+        self._trace: Sequence[MicroOp] = ()
+
+    # ---------------------------------------------------------- state import --
+
+    def import_state(self, state) -> None:
+        """Adopt functionally warmed machine state before a detailed run.
+
+        ``state`` is a :class:`~repro.sampling.functional.FunctionalState`:
+        its branch unit, memory hierarchy, memory image, SSN counters, and
+        policy replace this core's freshly constructed ones, and its exact
+        last-writer map seeds the oracle dependence tracker (with a sentinel
+        sequence number of ``-1`` so flush repair can never confuse an
+        imported writer with an in-flight store).  Statistics *counters* on
+        the imported components are reset so a subsequent run reports only
+        its own activity; the predictive/tag state itself stays warm.
+        """
+        from legacy_ref.policies import PolicyStats
+        from legacy_ref.svw import SVWStats
+
+        self.hierarchy = state.hierarchy
+        self.memory = state.memory
+        self.branch_unit = state.branch_unit
+        self.ssn_alloc = state.ssn_alloc
+        self.policy = state.policy
+        self._last_writer = {
+            byte_addr: (-1, entry[0]) for byte_addr, entry in state.last_writer.items()}
+        self.hierarchy.reset_stats()
+        self.branch_unit.reset_stats()
+        self.policy.stats = PolicyStats()
+        self.policy.svw.stats = SVWStats()
+
+    def export_state(self):
+        """Export the core's long-lived state, symmetric to :meth:`import_state`.
+
+        Returns a :class:`~repro.sampling.functional.FunctionalState` bundling
+        the live branch unit, memory hierarchy, memory image, SSN counters,
+        policy, and oracle last-writer map — everything a subsequent
+        :meth:`import_state` (on this or another core) adopts.  Serialising
+        the bundle (the checkpoint store pickles it) freezes a copy.
+
+        Intended for a *drained* core (between runs): in-flight window state
+        (ROB/IQ/LQ/SQ occupancy, pending completions) is short-lived by
+        design and is not exported.  The exported last-writer map keeps each
+        byte's youngest writer SSN; the writer's PC and dynamic index are
+        not tracked per byte by the detailed core and are exported as
+        ``(0, -1)`` sentinels — :meth:`import_state` only consumes the SSN.
+        """
+        from repro.sampling.functional import FunctionalState
+
+        return FunctionalState(
+            config=self.config,
+            branch_unit=self.branch_unit,
+            hierarchy=self.hierarchy,
+            memory=self.memory,
+            ssn_alloc=self.ssn_alloc,
+            policy=self.policy,
+            last_writer={byte_addr: (entry[1], 0, -1)
+                         for byte_addr, entry in self._last_writer.items()},
+            instructions_warmed=self.stats.committed,
+        )
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, trace: DynamicTrace, warm_memory: bool = True,
+            stats_warmup_fraction: float = 0.0,
+            stats_warmup_instructions: Optional[int] = None,
+            stats_measure_instructions: Optional[int] = None) -> SimulationResult:
+        """Simulate ``trace`` to completion and return the result.
+
+        ``stats_warmup_fraction`` discards the statistics accumulated over the
+        first fraction of committed instructions (while keeping all
+        microarchitectural state: caches, predictors, branch history), the
+        same role the paper's 8% warm-up plays for its samples.  The reported
+        ``cycles`` likewise cover only the measured region.
+
+        ``stats_warmup_instructions`` is the exact-count form of the same
+        knob (used by the sampling subsystem, whose detailed warm-up is
+        specified in instructions); it overrides the fraction when given.
+
+        ``stats_measure_instructions`` stops the simulation once that many
+        *post-warm-up* instructions have committed, leaving younger
+        instructions in flight.  Interval sampling uses this so a measured
+        region ends mid-steady-state (window still full) instead of
+        charging the interval for the pipeline drain that a full run would
+        have overlapped with subsequent instructions.
+        """
+        if not 0.0 <= stats_warmup_fraction < 1.0:
+            raise ValueError("stats_warmup_fraction must be in [0, 1)")
+        self._trace = trace.uops
+        if warm_memory:
+            self._warm_caches(trace)
+
+        total = len(self._trace)
+        if stats_warmup_instructions is not None:
+            if not 0 <= stats_warmup_instructions < max(total, 1):
+                raise ValueError("stats_warmup_instructions must be in [0, len(trace))")
+            warmup_committed = stats_warmup_instructions
+        else:
+            warmup_committed = int(total * stats_warmup_fraction)
+        stop_committed = total
+        if stats_measure_instructions is not None:
+            if stats_measure_instructions <= 0:
+                raise ValueError("stats_measure_instructions must be positive")
+            stop_committed = min(total, warmup_committed + stats_measure_instructions)
+        warmup_done = warmup_committed == 0
+        warmup_cycle_offset = 0
+        warmup_instr_offset = 0
+        warmup_l1_misses = 0
+        warmup_l2_misses = 0
+        last_commit_cycle = 0
+        max_cycles = self.config.max_cycles
+        idle_skip = self.config.idle_skip
+
+        while self.stats.committed < stop_committed:
+            if idle_skip and self._ready_is_empty():
+                self._skip_idle_cycles(total, max_cycles)
+            self._cycle += 1
+            self.stats.cycles = self._cycle - warmup_cycle_offset
+
+            self._process_completions()
+            committed_now = self._commit_stage()
+            self._issue_stage()
+            self._dispatch_stage()
+
+            if not warmup_done and self.stats.committed >= warmup_committed:
+                # Reset the counters; keep every piece of machine state warm.
+                warmup_done = True
+                warmup_cycle_offset = self._cycle
+                warmup_instr_offset = self.stats.committed
+                warmup_l1_misses = self.hierarchy.stats.l1_misses
+                warmup_l2_misses = self.hierarchy.stats.l2_misses
+                preserved_committed = self.stats.committed
+                self.stats = SimStats()
+                self.stats.committed = preserved_committed
+                self.stats.cycles = 0
+
+            if committed_now:
+                last_commit_cycle = self._cycle
+            elif self._cycle - last_commit_cycle > self.DEADLOCK_LIMIT:
+                ready = sum(len(heap) for heap in self._ready.values())
+                raise RuntimeError(
+                    f"simulation deadlock at cycle {self._cycle}: "
+                    f"{self.stats.committed}/{total} committed, ROB={len(self.rob)}, "
+                    f"ready={ready}, fetch_seq={self._fetch_seq}")
+            if max_cycles is not None and self._cycle >= max_cycles:
+                break
+
+        # Report only the measured (post-warm-up) region — the miss
+        # counters subtract the warm-up share so every SimStats field
+        # covers exactly the same instructions (the hierarchy's own stats
+        # stay cumulative for the run and feed the l1_miss_rate extra).
+        self.stats.committed -= warmup_instr_offset
+        self.stats.l1_misses = self.hierarchy.stats.l1_misses - warmup_l1_misses
+        self.stats.l2_misses = self.hierarchy.stats.l2_misses - warmup_l2_misses
+        extra = {
+            "branch_misprediction_rate": self.branch_unit.misprediction_rate,
+            "svw_reexecution_rate": self.policy.svw.stats.reexecution_rate,
+            "l1_miss_rate": self.hierarchy.stats.l1_miss_rate(),
+            "rob_max_occupancy": float(self.rob.max_occupancy),
+        }
+        return SimulationResult(workload=trace.name, policy=self.policy.name,
+                                stats=self.stats, config=self.config, extra=extra)
+
+    def _warm_caches(self, trace: DynamicTrace) -> None:
+        """Pre-touch the lines referenced by the first portion of the trace.
+
+        The paper warms caches/predictors for 8% of each sample; touching the
+        first few thousand accesses approximates starting from a warm state
+        without perturbing the timing statistics."""
+        budget = min(len(trace), 4000)
+        for uop in trace.uops[:budget]:
+            if uop.mem is not None:
+                self.hierarchy.warm(uop.mem.addr)
+
+    # ------------------------------------------------------------- fast-forward --
+
+    def _ready_is_empty(self) -> bool:
+        """True when no un-issued, un-squashed entry is ready (purges stale heads)."""
+        for heap in self._ready.values():
+            while heap:
+                record = heap[0][2]
+                if record.squashed or record.issued:
+                    heapq.heappop(heap)
+                else:
+                    break
+            if heap:
+                return False
+        return True
+
+    def _skip_idle_cycles(self, total: int, max_cycles: Optional[int]) -> None:
+        """Advance the clock to just before the next cycle anything can happen.
+
+        Called only when the ready heaps are empty.  If dispatch also cannot
+        make progress next cycle, the machine state is frozen until one of:
+
+        * a scheduled completion (``self._completions``),
+        * the ROB head's commit-delay expiry, or
+        * the fetch-redirect resume point,
+
+        so the loop may jump straight there.  The skipped cycles are charged
+        to the stall counters exactly as the straight-line loop would have
+        charged them, keeping every statistic bit-identical.
+        """
+        nxt = self._cycle + 1
+        # Would dispatch make progress at ``nxt``?  If so, no skipping.
+        if self._fetch_blocked_on is None and nxt >= self._fetch_resume_cycle \
+                and self._fetch_seq < total:
+            uop = self._trace[self._fetch_seq]
+            if not (self.rob.is_full()
+                    or self._iq_occupancy >= self.config.issue_queue_size
+                    or (uop.is_load and self.load_queue.is_full())
+                    or (uop.is_store and self.store_queue.is_full())):
+                return
+
+        target: Optional[int] = None
+        if self._completions:
+            target = min(self._completions)
+        head = self.rob.head()
+        if head is not None and head.completed:
+            commit_at = head.completion_cycle + self.config.backend_commit_delay
+            if target is None or commit_at < target:
+                target = commit_at
+        if (self._fetch_blocked_on is None and self._fetch_seq < total
+                and self._fetch_resume_cycle > nxt):
+            if target is None or self._fetch_resume_cycle < target:
+                target = self._fetch_resume_cycle
+        if target is None:
+            return  # genuine deadlock; let the straight-line loop detect it
+        if max_cycles is not None and target > max_cycles:
+            target = max_cycles
+        if target <= nxt:
+            return
+        self._account_idle(nxt, target - 1, total)
+        self._cycle = target - 1
+
+    def _account_idle(self, first: int, last: int, total: int) -> None:
+        """Charge skipped cycles ``first..last`` to the stall counters.
+
+        Mirrors what ``_dispatch_stage`` would have counted had each cycle
+        been executed: a fetch stall while redirect-blocked, then (with fetch
+        available but a structure full) the structural stall the first
+        undispatchable micro-op would have hit.  State cannot change inside
+        the window, so the attribution is constant apart from the
+        redirect-resume boundary.
+        """
+        n = last - first + 1
+        stats = self.stats
+        if self._fetch_blocked_on is not None:
+            stats.fetch_stall_cycles += n
+            return
+        fetch_blocked = min(n, max(0, self._fetch_resume_cycle - first))
+        stats.fetch_stall_cycles += fetch_blocked
+        rest = n - fetch_blocked
+        if rest <= 0 or self._fetch_seq >= total:
+            return
+        if self.rob.is_full():
+            stats.rob_stall_cycles += rest
+        elif self._iq_occupancy >= self.config.issue_queue_size:
+            stats.iq_stall_cycles += rest
+        else:
+            uop = self._trace[self._fetch_seq]
+            if uop.is_load and self.load_queue.is_full():
+                stats.lq_stall_cycles += rest
+            elif uop.is_store and self.store_queue.is_full():
+                stats.sq_stall_cycles += rest
+
+    # ------------------------------------------------------------ completions --
+
+    def _process_completions(self) -> None:
+        ops = self._completions.pop(self._cycle, None)
+        if not ops:
+            return
+        for record in ops:
+            if record.squashed:
+                continue
+            record.completed = True
+            uop = record.uop
+            if uop.is_store:
+                mem = uop.mem
+                self.store_queue.write_execute(record.ssn, mem.addr, mem.size, mem.value)
+                for waiter in record.fwd_waiters:
+                    self._clear_fwd_wait(waiter)
+                record.fwd_waiters = []
+            if record.mispredicted and self._fetch_blocked_on is record:
+                self._fetch_blocked_on = None
+                self._fetch_resume_cycle = max(self._fetch_resume_cycle,
+                                               self._cycle + self.config.branch_redirect_penalty)
+            for consumer in record.consumers:
+                if consumer.squashed:
+                    continue
+                consumer.wait_srcs -= 1
+                self._maybe_ready(consumer)
+            record.consumers = []
+
+    def _clear_fwd_wait(self, record: _Inflight) -> None:
+        if record.squashed or not record.wait_fwd:
+            return
+        record.wait_fwd = False
+        self._maybe_ready(record)
+
+    def _maybe_ready(self, record: _Inflight) -> None:
+        if record.squashed or record.issued or record.ready_pushed:
+            return
+        if record.wait_srcs == 0 and not record.wait_fwd:
+            if record.other_ready_cycle < 0:
+                record.other_ready_cycle = self._cycle
+            if not record.wait_dly:
+                record.ready_pushed = True
+                self._ready_tiebreak += 1
+                heapq.heappush(self._ready[record.issue_class],
+                               (record.seq, self._ready_tiebreak, record))
+
+    # ----------------------------------------------------------------- commit --
+
+    def _commit_stage(self) -> int:
+        committed = 0
+        delay = self.config.backend_commit_delay
+        while committed < self.config.commit_width:
+            record = self.rob.head()
+            if record is None or not record.completed:
+                break
+            if record.completion_cycle + delay > self._cycle:
+                break
+            self.rob.pop_head()
+            committed += 1
+            self.stats.committed += 1
+            self._records.pop(record.seq, None)
+            uop = record.uop
+            self.rat.retire_dest(uop.dest, record.seq)
+
+            if uop.is_store:
+                self._commit_store(record)
+            elif uop.is_load:
+                flushed = self._commit_load(record)
+                if flushed:
+                    break
+            elif uop.is_branch:
+                self.stats.committed_branches += 1
+        return committed
+
+    def _commit_store(self, record: _Inflight) -> None:
+        uop = record.uop
+        mem = uop.mem
+        self.stats.committed_stores += 1
+        self.memory.write(mem.addr, mem.size, mem.value)
+        self.ssn_alloc.commit(record.ssn)
+        self.store_queue.release(record.ssn)
+        self._store_by_ssn.pop(record.ssn, None)
+        self.policy.store_committed(uop.pc, record.ssn, mem.addr, mem.size)
+        self.hierarchy.store_touch(mem.addr)
+        waiters = self._dly_waiters.pop(record.ssn, None)
+        if waiters:
+            for waiter in waiters:
+                if waiter.squashed or not waiter.wait_dly:
+                    continue
+                waiter.wait_dly = False
+                waiter.dly_clear_cycle = self._cycle
+                self._maybe_ready(waiter)
+
+    def _commit_load(self, record: _Inflight) -> bool:
+        """Commit a load; returns True if a flush was triggered."""
+        uop = record.uop
+        mem = uop.mem
+        self.stats.committed_loads += 1
+        self.load_queue.release(record.seq)
+
+        correct_value = self.memory.read(mem.addr, mem.size)
+        needs_reexec = self.policy.needs_reexecution(mem.addr, mem.size, record.svw_ssn)
+        if needs_reexec:
+            self.stats.loads_reexecuted += 1
+        violation = record.spec_value != correct_value
+        if violation and not needs_reexec:
+            raise AssertionError(
+                f"SVW filter missed a violation at pc={uop.pc:#x} seq={record.seq}: "
+                f"spec={record.spec_value:#x} correct={correct_value:#x}")
+
+        if record.should_forward:
+            self.stats.loads_should_forward += 1
+        if record.forwarded:
+            self.stats.loads_forwarded += 1
+        if record.delay_cycles > 0:
+            self.stats.loads_delayed += 1
+            self.stats.total_delay_cycles += record.delay_cycles
+
+        info = LoadCommitInfo(
+            pc=uop.pc, addr=mem.addr, size=mem.size,
+            spec_value=record.spec_value, correct_value=correct_value,
+            forwarded=record.forwarded, forward_ssn=record.forward_ssn,
+            prediction=record.prediction or LoadPrediction(),
+            ssn_at_rename=record.ssn_at_rename,
+            ssn_cmt=self.ssn_alloc.ssn_commit,
+            violation=violation,
+        )
+        self.policy.load_committed(info)
+
+        if violation:
+            self.stats.ordering_violations += 1
+            if record.should_forward:
+                self.stats.mis_forwardings += 1
+            self._flush_after(record)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ flush --
+
+    def _flush_after(self, record: _Inflight) -> None:
+        """Squash everything younger than ``record`` and redirect fetch."""
+        self.stats.flushes += 1
+        squashed = self.rob.squash_younger_than(record.seq)
+        for victim in squashed:
+            victim.squashed = True
+            self.stats.squashed_uops += 1
+            self._records.pop(victim.seq, None)
+            self.rat.undo(victim.rat_undo)
+            if not victim.issued:
+                self._iq_occupancy -= 1
+            uop = victim.uop
+            if uop.is_store:
+                self.policy.store_squashed(uop.pc, victim.ssn, victim.sat_undo)
+                self._store_by_ssn.pop(victim.ssn, None)
+                self._undo_last_writer(victim)
+            if victim.prediction is not None and victim.prediction.dly_ssn:
+                waiters = self._dly_waiters.get(victim.prediction.dly_ssn)
+                if waiters and victim in waiters:
+                    waiters.remove(victim)
+
+        # Squash SQ/LQ entries younger than the flush point.
+        self.store_queue.squash_younger(record.ssn_at_rename)
+        self.load_queue.squash_younger(record.seq)
+        self.ssn_alloc.rewind_rename(max(record.ssn_at_rename, self.ssn_alloc.ssn_commit))
+
+        # Redirect fetch.
+        self._fetch_seq = record.seq + 1
+        self._fetch_resume_cycle = self._cycle + self.config.flush_penalty
+        if self._fetch_blocked_on is not None and self._fetch_blocked_on.squashed:
+            self._fetch_blocked_on = None
+
+    def _undo_last_writer(self, store_record: _Inflight) -> None:
+        undo = store_record.oracle_undo
+        if undo is None:
+            return
+        last_writer = self._last_writer
+        seq = store_record.seq
+        for byte_addr, previous in undo.items():
+            current = last_writer.get(byte_addr)
+            if current is not None and current[0] == seq:
+                if previous is None:
+                    del last_writer[byte_addr]
+                else:
+                    last_writer[byte_addr] = previous
+
+    # ------------------------------------------------------------------ issue --
+
+    def _issue_stage(self) -> None:
+        """Issue the oldest ready micro-ops, respecting per-class bandwidth.
+
+        Selection order matches the single-heap formulation (globally oldest
+        first among classes with remaining budget); entries whose class budget
+        is exhausted simply stay in their heap instead of being popped and
+        re-pushed every cycle.
+        """
+        limits = self.config.issue_limits
+        budget = {
+            "int": limits.int_ops,
+            "fp": limits.fp_ops,
+            "branch": limits.branches,
+            "load": limits.loads,
+            "store": limits.stores,
+        }
+        total_budget = self.config.issue_width
+        heaps = self._ready
+        while total_budget > 0:
+            best_heap = None
+            best_key = None
+            best_seq = -1
+            for key in _ISSUE_CLASS_KEYS:
+                if budget[key] <= 0:
+                    continue
+                heap = heaps[key]
+                while heap:
+                    record = heap[0][2]
+                    if record.squashed or record.issued:
+                        heapq.heappop(heap)
+                    else:
+                        break
+                if heap and (best_heap is None or heap[0][0] < best_seq):
+                    best_heap = heap
+                    best_key = key
+                    best_seq = heap[0][0]
+            if best_heap is None:
+                break
+            _, _, record = heapq.heappop(best_heap)
+            budget[best_key] -= 1
+            total_budget -= 1
+            self._execute(record)
+
+    def _execute(self, record: _Inflight) -> None:
+        record.issued = True
+        record.issue_cycle = self._cycle
+        self._iq_occupancy -= 1
+        uop = record.uop
+
+        if uop.is_load:
+            latency = self._execute_load(record)
+        else:
+            latency = DEFAULT_LATENCIES[uop.op_class]
+
+        record.completion_cycle = self._cycle + latency
+        self._completions.setdefault(record.completion_cycle, []).append(record)
+
+        # Delay accounting: the DDP delayed this load for the interval between
+        # the cycle it was otherwise ready and the cycle its delay cleared.
+        if uop.is_load and record.dly_clear_cycle >= 0 and record.other_ready_cycle >= 0:
+            record.delay_cycles = max(0, record.dly_clear_cycle - record.other_ready_cycle)
+
+    def _execute_load(self, record: _Inflight) -> int:
+        uop = record.uop
+        mem = uop.mem
+        prediction = record.prediction or LoadPrediction()
+        l1_latency = self.hierarchy.l1_latency
+
+        record.should_forward = record.oracle_dep_ssn > self.ssn_alloc.ssn_commit
+
+        decision = self.policy.forward(mem.addr, mem.size, record.ssn_at_rename,
+                                       prediction, self.store_queue)
+        cache_latency = self.hierarchy.load_latency(mem.addr)
+
+        if decision.forwarded:
+            record.forwarded = True
+            record.forward_ssn = decision.forward_ssn
+            record.spec_value = decision.value if decision.value is not None else 0
+            record.svw_ssn = decision.forward_ssn
+            actual = self.policy.forwarded_load_latency(l1_latency)
+        else:
+            record.spec_value = self.memory.read(mem.addr, mem.size)
+            record.svw_ssn = self.ssn_alloc.ssn_commit
+            actual = cache_latency
+
+        self.load_queue.record_execution(record.seq, mem.addr, mem.size, record.spec_value,
+                                         record.svw_ssn, record.forwarded)
+
+        assumed = self.policy.assumed_load_latency(prediction, l1_latency)
+        if actual > assumed:
+            self.stats.replays += 1
+            actual += self.config.replay_penalty
+        return actual
+
+    # --------------------------------------------------------------- dispatch --
+
+    def _dispatch_stage(self) -> None:
+        if self._cycle < self._fetch_resume_cycle or self._fetch_blocked_on is not None:
+            self.stats.fetch_stall_cycles += 1
+            return
+        trace = self._trace
+        total = len(trace)
+        taken_budget = self.config.taken_branches_per_cycle
+        dispatched = 0
+
+        while dispatched < self.config.rename_width and self._fetch_seq < total:
+            uop = trace[self._fetch_seq]
+
+            if self.rob.is_full():
+                self.stats.rob_stall_cycles += 1
+                return
+            if self._iq_occupancy >= self.config.issue_queue_size:
+                self.stats.iq_stall_cycles += 1
+                return
+            if uop.is_load and self.load_queue.is_full():
+                self.stats.lq_stall_cycles += 1
+                return
+            if uop.is_store and self.store_queue.is_full():
+                self.stats.sq_stall_cycles += 1
+                return
+
+            record = _Inflight(self._fetch_seq, uop)
+            record.dispatch_cycle = self._cycle
+            self._fetch_seq += 1
+            dispatched += 1
+            self._dispatch_record(record)
+
+            if uop.is_branch:
+                if record.mispredicted:
+                    self._fetch_blocked_on = record
+                    return
+                if uop.is_taken:
+                    taken_budget -= 1
+                    if taken_budget <= 0:
+                        return
+
+    def _dispatch_record(self, record: _Inflight) -> None:
+        uop = record.uop
+        self._records[record.seq] = record
+        self.rob.push(record)
+        self._iq_occupancy += 1
+
+        # Register dependences.
+        for src in uop.srcs:
+            producer_seq = self.rat.producer_of(src)
+            if producer_seq == ARCH_READY:
+                continue
+            producer = self._records.get(producer_seq)
+            if producer is None or producer.completed or producer.squashed:
+                continue
+            record.wait_srcs += 1
+            producer.consumers.append(record)
+
+        record.rat_undo = self.rat.rename_dest(uop.dest, record.seq)
+
+        if uop.is_branch:
+            record.mispredicted = self.branch_unit.predict_and_resolve(
+                uop.pc, uop.is_taken, uop.target, uop.hint_call, uop.hint_return)
+            if record.mispredicted:
+                self.stats.branch_mispredictions += 1
+        elif uop.is_store:
+            self._dispatch_store(record)
+        elif uop.is_load:
+            self._dispatch_load(record)
+
+        self._maybe_ready(record)
+
+    def _dispatch_store(self, record: _Inflight) -> None:
+        uop = record.uop
+        ssn = self.ssn_alloc.allocate()
+        record.ssn = ssn
+        if self.config.model_ssn_wrap and self.ssn_alloc.wrapped(ssn):
+            self.stats.ssn_wraps += 1
+            self._fetch_resume_cycle = max(self._fetch_resume_cycle,
+                                           self._cycle + self.config.ssn_wrap_drain_penalty)
+        self.store_queue.allocate(ssn, uop.pc, record.seq)
+        self._store_by_ssn[ssn] = record
+        record.sat_undo = self.policy.store_renamed(uop.pc, ssn)
+
+        # Oracle last-writer tracking: touched-byte dict with the previous
+        # entries recorded alongside for flush repair.
+        mem = uop.mem
+        last_writer = self._last_writer
+        entry = (record.seq, ssn)
+        undo: Dict[int, Optional[Tuple[int, int]]] = {}
+        for byte_addr in range(mem.addr, mem.addr + mem.size):
+            undo[byte_addr] = last_writer.get(byte_addr)
+            last_writer[byte_addr] = entry
+        record.oracle_undo = undo
+
+        # Store-store serialisation (original Store Sets only).
+        dep_ssn = self.policy.store_dependence(uop.pc, ssn)
+        if dep_ssn:
+            dep = self._store_by_ssn.get(dep_ssn)
+            if dep is not None and not dep.completed and not dep.squashed:
+                record.wait_fwd = True
+                dep.fwd_waiters.append(record)
+
+    def _dispatch_load(self, record: _Inflight) -> None:
+        uop = record.uop
+        mem = uop.mem
+        record.ssn_at_rename = self.ssn_alloc.ssn_rename
+        self.load_queue.allocate(record.seq, uop.pc)
+
+        # Oracle dependence: youngest older dispatched store writing any byte.
+        last_writer = self._last_writer
+        oracle_ssn = 0
+        for byte_addr in range(mem.addr, mem.addr + mem.size):
+            entry = last_writer.get(byte_addr)
+            if entry is not None and entry[1] > oracle_ssn:
+                oracle_ssn = entry[1]
+        record.oracle_dep_ssn = oracle_ssn
+
+        prediction = self.policy.predict_load(uop.pc, self.ssn_alloc.ssn_rename,
+                                              self.ssn_alloc.ssn_commit, oracle_ssn)
+        record.prediction = prediction
+
+        # Scheduling constraint 1: predicted forwarding store must have executed.
+        if prediction.fwd_ssn and prediction.fwd_ssn > self.ssn_alloc.ssn_commit:
+            store = self._store_by_ssn.get(prediction.fwd_ssn)
+            if store is not None and not store.completed and not store.squashed:
+                record.wait_fwd = True
+                store.fwd_waiters.append(record)
+                self.stats.loads_waited_on_prediction += 1
+
+        # Scheduling constraint 2: the delay-index store must have committed.
+        if prediction.dly_ssn and prediction.dly_ssn > self.ssn_alloc.ssn_commit:
+            record.wait_dly = True
+            self._dly_waiters.setdefault(prediction.dly_ssn, []).append(record)

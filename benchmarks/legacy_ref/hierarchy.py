@@ -1,0 +1,110 @@
+# Frozen seed reference (src/repro/memory/hierarchy.py @ PR 4) — see legacy_ref/__init__.py.
+"""Two-level cache hierarchy with flat main memory.
+
+Composes an L1 data cache, a unified L2, a data TLB, and main memory into a
+single ``load latency`` / ``store commit`` interface used by the load-store
+unit.  Latencies follow Section 4.1 of the paper: 3-cycle L1, 10-cycle L2,
+150-cycle memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from legacy_ref.cache import Cache, CacheConfig, DEFAULT_L1_CONFIG, DEFAULT_L2_CONFIG
+from legacy_ref.tlb import TLB, TLBConfig
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """Configuration of the full memory hierarchy."""
+
+    l1: CacheConfig = DEFAULT_L1_CONFIG
+    l2: CacheConfig = DEFAULT_L2_CONFIG
+    tlb: TLBConfig = TLBConfig()
+    memory_latency: int = 150
+    model_tlb: bool = True
+
+    def __post_init__(self) -> None:
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be at least one cycle")
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics for the hierarchy."""
+
+    load_accesses: int = 0
+    store_accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    tlb_misses: int = 0
+
+    def l1_miss_rate(self) -> float:
+        total = self.load_accesses + self.store_accesses
+        return self.l1_misses / total if total else 0.0
+
+
+class MemoryHierarchy:
+    """L1 + L2 + memory latency model with an optional TLB."""
+
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None) -> None:
+        self.config = config or MemoryHierarchyConfig()
+        self.l1 = Cache(self.config.l1)
+        self.l2 = Cache(self.config.l2)
+        self.tlb = TLB(self.config.tlb)
+        self.stats = HierarchyStats()
+
+    @property
+    def l1_latency(self) -> int:
+        """The load-to-use latency of an L1 hit (the scheduler's assumption)."""
+        return self.config.l1.latency
+
+    def load_latency(self, addr: int) -> int:
+        """Latency of a load to ``addr``, updating cache/TLB state."""
+        self.stats.load_accesses += 1
+        return self._access_latency(addr)
+
+    def store_touch(self, addr: int) -> int:
+        """Model a store commit touching the hierarchy; returns latency.
+
+        Store commit latency is off the critical path (stores retire into a
+        write buffer), so the returned latency is informational only, but the
+        line allocation keeps subsequent loads to the same line warm.
+        """
+        self.stats.store_accesses += 1
+        return self._access_latency(addr)
+
+    def _access_latency(self, addr: int) -> int:
+        latency = self.config.l1.latency
+        if self.config.model_tlb:
+            tlb_penalty = self.tlb.access(addr)
+            if tlb_penalty:
+                self.stats.tlb_misses += 1
+                latency += tlb_penalty
+        if self.l1.access(addr):
+            return latency
+        self.stats.l1_misses += 1
+        latency += self.config.l2.latency
+        if self.l2.access(addr):
+            return latency
+        self.stats.l2_misses += 1
+        return latency + self.config.memory_latency
+
+    def warm(self, addr: int) -> None:
+        """Pre-install the line holding ``addr`` into L1 and L2 (warm-up)."""
+        self.l1.touch_line(addr)
+        self.l2.touch_line(addr)
+
+    def reset_stats(self) -> None:
+        self.stats = HierarchyStats()
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.tlb.reset_stats()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of L1 + L2 + TLB contents (exact, LRU order
+        included); used by the checkpoint round-trip tests."""
+        return (self.l1.state_signature(), self.l2.state_signature(),
+                self.tlb.state_signature())

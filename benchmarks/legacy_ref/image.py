@@ -1,0 +1,86 @@
+# Frozen seed reference (src/repro/memory/image.py @ PR 4) — see legacy_ref/__init__.py.
+"""Byte-addressable memory image.
+
+The memory image holds the *architectural* (committed) memory state.  Stores
+update it at commit; value-based re-execution reads it at load commit to
+obtain the correct load value (all older stores have committed by then, so
+the image is exactly the state the load should observe).
+
+The image is sparse: only bytes that have been written are stored.  Unwritten
+bytes read as a deterministic per-address background pattern so that two
+independent simulations of the same trace observe identical "uninitialised"
+values (important when comparing the speculative value read at execute time
+against the re-executed value at commit time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def _background_byte(addr: int) -> int:
+    """Deterministic pseudo-random background value for an unwritten byte.
+
+    A cheap integer hash keeps different addresses from aliasing to the same
+    value too often, which would mask mis-forwardings in tests.
+    """
+    x = (addr * 0x9E3779B97F4A7C15) & 0xFFFF_FFFF_FFFF_FFFF
+    x ^= x >> 29
+    return (x * 0xBF58476D1CE4E5B9 >> 56) & 0xFF
+
+
+class MemoryImage:
+    """Sparse byte-addressable memory."""
+
+    def __init__(self) -> None:
+        self._bytes: Dict[int, int] = {}
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Write ``size`` bytes of ``value`` (little-endian) at ``addr``."""
+        if size <= 0:
+            raise ValueError("write size must be positive")
+        if value < 0:
+            raise ValueError("write value must be non-negative")
+        for i in range(size):
+            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+
+    def read(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes (little-endian) at ``addr``."""
+        if size <= 0:
+            raise ValueError("read size must be positive")
+        value = 0
+        for i in range(size):
+            byte = self._bytes.get(addr + i)
+            if byte is None:
+                byte = _background_byte(addr + i)
+            value |= byte << (8 * i)
+        return value
+
+    def read_byte(self, addr: int) -> int:
+        """Read a single byte."""
+        byte = self._bytes.get(addr)
+        if byte is None:
+            return _background_byte(addr)
+        return byte
+
+    def is_written(self, addr: int) -> bool:
+        """True if the byte at ``addr`` has been explicitly written."""
+        return addr in self._bytes
+
+    def written_byte_count(self) -> int:
+        """Number of bytes explicitly written."""
+        return len(self._bytes)
+
+    def copy(self) -> "MemoryImage":
+        """Deep copy of the image (used by the functional trace checker)."""
+        clone = MemoryImage()
+        clone._bytes = dict(self._bytes)
+        return clone
+
+    def clear(self) -> None:
+        """Discard all written bytes."""
+        self._bytes.clear()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of every explicitly written byte."""
+        return tuple(sorted(self._bytes.items()))

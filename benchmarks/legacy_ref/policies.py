@@ -1,0 +1,573 @@
+# Frozen seed reference (src/repro/lsu/policies.py @ PR 4) — see legacy_ref/__init__.py.
+"""Store queue access policies.
+
+A policy encapsulates everything that differs between the store-queue
+configurations compared in the paper (Table 1, Figure 4):
+
+* how loads are scheduled (which store a load waits for, and whether it is
+  additionally delayed until some store *commits*),
+* how the load obtains a value from the SQ at execution (fully-associative
+  search vs. speculative indexed read of one predicted entry),
+* what latency the scheduler assumes when waking a load's dependants, and
+* how the predictors are trained at load/store commit.
+
+The cycle-level core (:class:`legacy_ref.core.OutOfOrderCore`) is policy
+agnostic: it calls the methods below at decode/rename, execute, and commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from legacy_ref.fsp import ForwardingStorePredictor
+from legacy_ref.ddp import DelayDistancePredictor
+from legacy_ref.predictors import PredictorSuiteConfig
+from legacy_ref.sat import SATUndoRecord, StoreAliasTable
+from legacy_ref.store_sets import StoreSetsPredictor
+from legacy_ref.svw import SVWFilter
+from legacy_ref.store_queue import StoreQueue, StoreQueueEntry
+
+
+@dataclass
+class LoadPrediction:
+    """Per-dynamic-load predictions generated at decode/rename.
+
+    ``fwd_ssn`` is the paper's ``SSNfwd`` (0 means "no relevant store");
+    ``dly_ssn`` is ``SSNdly`` (0 means "no delay").  ``predicted_store_pc``
+    is the partial store PC the FSP produced (``None`` if the FSP missed) and
+    is used at commit to drive training.  ``predict_forward`` is the
+    scheduler hint used by the forwarding-prediction variant of the 5-cycle
+    associative SQ.
+    """
+
+    fwd_ssn: int = 0
+    dly_ssn: int = 0
+    predicted_store_pc: Optional[int] = None
+    predict_forward: bool = False
+
+
+@dataclass
+class ForwardDecision:
+    """Outcome of the SQ access performed when a load executes."""
+
+    forwarded: bool = False
+    value: Optional[int] = None
+    forward_ssn: int = 0
+    from_entry: Optional[StoreQueueEntry] = None
+
+
+@dataclass
+class LoadCommitInfo:
+    """Information available when a load commits (drives training)."""
+
+    pc: int
+    addr: int
+    size: int
+    spec_value: int
+    correct_value: int
+    forwarded: bool
+    forward_ssn: int
+    prediction: LoadPrediction
+    ssn_at_rename: int
+    ssn_cmt: int
+    violation: bool
+
+
+@dataclass
+class PolicyStats:
+    """Counters common to all policies."""
+
+    loads_predicted: int = 0
+    loads_predicted_forwarding: int = 0
+    fsp_correct_pc: int = 0
+    fsp_wrong_pc: int = 0
+    delay_predictions: int = 0
+
+
+class SQPolicy:
+    """Base class for SQ access policies.
+
+    Subclasses override the prediction, forwarding, and training hooks; this
+    base class owns the structures shared by every configuration (the SVW
+    filter used for re-execution filtering and predictor training).
+    """
+
+    #: Human-readable configuration name (matches Figure 4 labels).
+    name: str = "base"
+    #: SQ access latency in cycles (Table 2).
+    sq_latency: int = 3
+
+    def __init__(self, sq_size: int = 64,
+                 predictors: Optional[PredictorSuiteConfig] = None) -> None:
+        self.sq_size = sq_size
+        self.predictor_config = predictors or PredictorSuiteConfig()
+        self.svw = SVWFilter(self.predictor_config.svw)
+        self.stats = PolicyStats()
+
+    # -- decode / rename --------------------------------------------------------
+
+    def predict_load(self, load_pc: int, ssn_ren: int, ssn_cmt: int,
+                     oracle_dep_ssn: int = 0) -> LoadPrediction:
+        """Generate the load's forwarding/delay predictions."""
+        raise NotImplementedError
+
+    def store_renamed(self, store_pc: int, ssn: int) -> Optional[SATUndoRecord]:
+        """Note a renamed store (SAT/LFST update); returns an undo token."""
+        return None
+
+    def store_squashed(self, store_pc: int, ssn: int, token: Optional[SATUndoRecord]) -> None:
+        """Undo the effect of :meth:`store_renamed` for a squashed store."""
+
+    def store_dependence(self, store_pc: int, ssn: int) -> int:
+        """SSN of an older store this store must wait for (0 = none).
+
+        Only the original Store Sets formulation serialises stores within a
+        set; every other policy returns 0.
+        """
+        return 0
+
+    # -- execute ----------------------------------------------------------------
+
+    def assumed_load_latency(self, prediction: LoadPrediction, l1_latency: int) -> int:
+        """Latency the scheduler assumes when speculatively waking dependants."""
+        return l1_latency
+
+    def forwarded_load_latency(self, l1_latency: int) -> int:
+        """Latency of a load that obtains its value from the SQ."""
+        return max(self.sq_latency, l1_latency)
+
+    def forward(self, addr: int, size: int, older_than_ssn: int,
+                prediction: LoadPrediction, store_queue: StoreQueue) -> ForwardDecision:
+        """Access the SQ on behalf of an executing load."""
+        raise NotImplementedError
+
+    # -- commit -----------------------------------------------------------------
+
+    def store_committed(self, store_pc: int, ssn: int, addr: int, size: int) -> None:
+        """Update SVW structures (and any policy state) when a store commits."""
+        self.svw.store_committed(addr, size, ssn, store_pc)
+
+    def needs_reexecution(self, addr: int, size: int, svw_ssn: int) -> bool:
+        """SVW filter decision for a load about to commit."""
+        return self.svw.needs_reexecution(addr, size, svw_ssn)
+
+    def load_committed(self, info: LoadCommitInfo) -> None:
+        """Train predictors with the outcome of a committed load."""
+
+    # -- functional warming ------------------------------------------------------
+
+    def warm_store_renamed(self, store_pc: int, ssn: int) -> None:
+        """Functional-warming analogue of :meth:`store_renamed`.
+
+        Stores retire instantly during functional replay, so policies that
+        keep per-in-flight-store bookkeeping (undo logs, store-set
+        serialisation maps) update only their long-lived tables here.  The
+        default delegates to :meth:`store_renamed` and discards the undo
+        token.
+        """
+        self.store_renamed(store_pc, ssn)
+
+    def warm_load(self, load_pc: int, addr: int, size: int, dep_ssn: int,
+                  dep_pc: int, would_forward: bool, ssn_cmt: int) -> None:
+        """Train PC-indexed predictors for one functionally retired load.
+
+        ``dep_ssn``/``dep_pc`` name the youngest older store writing any
+        byte of the access (0 when none); ``would_forward`` is the
+        functional replay's in-flight-window approximation: the store is
+        close enough (in committed stores and in dynamic instructions) that
+        the detailed machine would plausibly have forwarded.  The base
+        policy trains nothing — the SVW tables are warmed by store commits.
+        """
+
+    # -- state snapshots --------------------------------------------------------
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the policy's long-lived predictor state.
+
+        Subclasses extend the tuple with their own structures; the
+        checkpoint round-trip tests assert that serialising and re-importing
+        warmed state preserves the signature exactly.
+        """
+        return (self.name, self.svw.state_signature())
+
+    # -- wrap handling ----------------------------------------------------------
+
+    def clear_ssn_state(self) -> None:
+        """Clear all structures that hold SSNs (hardware SSN wrap event)."""
+        self.svw.clear()
+
+
+# ---------------------------------------------------------------------------
+# Oracle-scheduled associative SQ (the idealised Figure 4 baseline)
+# ---------------------------------------------------------------------------
+
+class OracleAssociativePolicy(SQPolicy):
+    """Ideal associative SQ with oracle load scheduling.
+
+    The load waits exactly until the store it actually depends on (the
+    youngest older store writing its address) has executed, then performs an
+    associative search.  There are no forwarding mis-predictions and no
+    unnecessary delays; this is the configuration every Figure 4 bar is
+    normalised against.
+    """
+
+    name = "oracle-associative-3"
+
+    def __init__(self, sq_size: int = 64, sq_latency: int = 3,
+                 predictors: Optional[PredictorSuiteConfig] = None) -> None:
+        super().__init__(sq_size=sq_size, predictors=predictors)
+        self.sq_latency = sq_latency
+
+    def predict_load(self, load_pc: int, ssn_ren: int, ssn_cmt: int,
+                     oracle_dep_ssn: int = 0) -> LoadPrediction:
+        self.stats.loads_predicted += 1
+        return LoadPrediction(fwd_ssn=oracle_dep_ssn, predict_forward=oracle_dep_ssn > ssn_cmt)
+
+    def forward(self, addr: int, size: int, older_than_ssn: int,
+                prediction: LoadPrediction, store_queue: StoreQueue) -> ForwardDecision:
+        entry = store_queue.associative_search(addr, size, older_than_ssn)
+        if entry is None:
+            return ForwardDecision(forwarded=False)
+        return ForwardDecision(forwarded=True, value=entry.extract(addr, size),
+                               forward_ssn=entry.ssn, from_entry=entry)
+
+
+# ---------------------------------------------------------------------------
+# Associative SQ with Store Sets scheduling (realistic baselines)
+# ---------------------------------------------------------------------------
+
+class AssociativeStoreSetsPolicy(SQPolicy):
+    """Associative SQ scheduled by Store Sets.
+
+    ``formulation='reformulated'`` uses the paper's FSP/SAT (PC/SSN) version
+    of Store Sets; ``formulation='original'`` uses the SSIT/LFST version
+    (first row of Table 1).  ``scheduling`` controls how the 5-cycle variant
+    wakes dependants:
+
+    * ``'optimistic'`` — assume cache latency for every load; forwarding
+      causes dependant replays,
+    * ``'predictive'`` — use the dependence predictor to guess whether the
+      load forwards and assume the SQ latency for predicted-forwarding loads.
+    """
+
+    def __init__(self, sq_size: int = 64, sq_latency: int = 3,
+                 scheduling: str = "predictive", formulation: str = "reformulated",
+                 predictors: Optional[PredictorSuiteConfig] = None) -> None:
+        super().__init__(sq_size=sq_size, predictors=predictors)
+        if scheduling not in ("optimistic", "predictive"):
+            raise ValueError(f"unknown scheduling mode {scheduling!r}")
+        if formulation not in ("original", "reformulated"):
+            raise ValueError(f"unknown Store Sets formulation {formulation!r}")
+        self.sq_latency = sq_latency
+        self.scheduling = scheduling
+        self.formulation = formulation
+        self.name = f"associative-{sq_latency}-{scheduling}"
+        self.fsp = ForwardingStorePredictor(self.predictor_config.fsp)
+        self.sat = StoreAliasTable(self.predictor_config.sat)
+        self.store_sets = StoreSetsPredictor(self.predictor_config.store_sets)
+        # Original-formulation only: store SSN -> SSN of the previous store in
+        # its set (captured at rename time, consumed by store_dependence()).
+        self._store_set_deps: dict = {}
+
+    # -- decode / rename --------------------------------------------------------
+
+    def predict_load(self, load_pc: int, ssn_ren: int, ssn_cmt: int,
+                     oracle_dep_ssn: int = 0) -> LoadPrediction:
+        self.stats.loads_predicted += 1
+        if self.formulation == "original":
+            ssn = self.store_sets.load_renamed(load_pc) or 0
+            predict_forward = ssn > ssn_cmt
+            if predict_forward:
+                self.stats.loads_predicted_forwarding += 1
+            return LoadPrediction(fwd_ssn=ssn, predict_forward=predict_forward)
+
+        entries = self.fsp.lookup(load_pc)
+        best_ssn = 0
+        best_pc: Optional[int] = None
+        for entry in entries:
+            ssn = self.sat.lookup_partial(entry.store_pc)
+            if ssn > best_ssn:
+                best_ssn = ssn
+                best_pc = entry.store_pc
+        predict_forward = best_ssn > ssn_cmt
+        if predict_forward:
+            self.stats.loads_predicted_forwarding += 1
+        return LoadPrediction(fwd_ssn=best_ssn, predicted_store_pc=best_pc,
+                              predict_forward=predict_forward)
+
+    def store_renamed(self, store_pc: int, ssn: int) -> Optional[SATUndoRecord]:
+        if self.formulation == "original":
+            previous = self.store_sets.store_renamed(store_pc, ssn)
+            self._store_set_deps[ssn] = previous or 0
+            return None
+        return self.sat.update(store_pc, ssn)
+
+    def store_squashed(self, store_pc: int, ssn: int, token: Optional[SATUndoRecord]) -> None:
+        if self.formulation == "original":
+            self._store_set_deps.pop(ssn, None)
+        if token is not None and self.predictor_config.sat.repair == "log":
+            self.sat.undo(token)
+
+    def store_dependence(self, store_pc: int, ssn: int) -> int:
+        """Original Store Sets serialises stores within a set."""
+        if self.formulation != "original":
+            return 0
+        return self._store_set_deps.get(ssn, 0)
+
+    # -- execute ----------------------------------------------------------------
+
+    def assumed_load_latency(self, prediction: LoadPrediction, l1_latency: int) -> int:
+        if self.sq_latency <= l1_latency:
+            return l1_latency
+        if self.scheduling == "predictive" and prediction.predict_forward:
+            return self.sq_latency
+        return l1_latency
+
+    def forward(self, addr: int, size: int, older_than_ssn: int,
+                prediction: LoadPrediction, store_queue: StoreQueue) -> ForwardDecision:
+        entry = store_queue.associative_search(addr, size, older_than_ssn)
+        if entry is None:
+            return ForwardDecision(forwarded=False)
+        return ForwardDecision(forwarded=True, value=entry.extract(addr, size),
+                               forward_ssn=entry.ssn, from_entry=entry)
+
+    # -- commit -----------------------------------------------------------------
+
+    def store_committed(self, store_pc: int, ssn: int, addr: int, size: int) -> None:
+        super().store_committed(store_pc, ssn, addr, size)
+        if self.formulation == "original":
+            self.store_sets.store_committed(store_pc, ssn)
+
+    def load_committed(self, info: LoadCommitInfo) -> None:
+        """Train the scheduler only when re-execution found a violation
+        (Table 1, first and second configurations)."""
+        if not info.violation:
+            return
+        _, last_pc = self.svw.last_writer(info.addr, info.size)
+        if last_pc == 0:
+            return
+        if self.formulation == "original":
+            self.store_sets.train_violation(info.pc, last_pc)
+        else:
+            self.fsp.insert(info.pc, last_pc)
+
+    # -- functional warming ------------------------------------------------------
+
+    def warm_store_renamed(self, store_pc: int, ssn: int) -> None:
+        """Update the SAT (or SSIT/LFST) without per-store undo bookkeeping."""
+        if self.formulation == "original":
+            self.store_sets.store_renamed(store_pc, ssn)
+        else:
+            self.sat.update(store_pc, ssn)
+
+    def warm_load(self, load_pc: int, addr: int, size: int, dep_ssn: int,
+                  dep_pc: int, would_forward: bool, ssn_cmt: int) -> None:
+        """Learn the dependences detailed-mode violations would have taught.
+
+        In detailed mode this policy trains only when re-execution catches a
+        violation, i.e. on loads whose producing store was in flight and
+        unpredicted.  ``would_forward`` identifies exactly those loads during
+        functional replay, so the warmed tables converge to the same
+        dependence set without simulating the violations.
+        """
+        if not would_forward or dep_pc == 0:
+            return
+        if self.formulation == "original":
+            self.store_sets.train_violation(load_pc, dep_pc)
+        else:
+            self.fsp.strengthen(load_pc, dep_pc)
+
+    def clear_ssn_state(self) -> None:
+        super().clear_ssn_state()
+        self.sat.clear()
+
+    def state_signature(self) -> tuple:
+        if self.formulation == "original":
+            return super().state_signature() + (
+                self.store_sets.ssit_signature(),)
+        return super().state_signature() + (
+            self.fsp.state_signature(), self.sat.state_signature())
+
+
+# ---------------------------------------------------------------------------
+# The paper's contribution: the speculative indexed SQ
+# ---------------------------------------------------------------------------
+
+class IndexedSQPolicy(SQPolicy):
+    """Speculative indexed SQ access via FSP/SAT, optionally guarded by the DDP.
+
+    ``use_delay=False`` corresponds to the ``indexed-3-fwd`` configuration in
+    Figure 4 and the ``Fwd`` column of Table 3; ``use_delay=True`` adds the
+    delay index predictor (``indexed-3-fwd+dly`` / ``Fwd+Dly``).
+    """
+
+    def __init__(self, sq_size: int = 64, sq_latency: int = 2, use_delay: bool = True,
+                 predictors: Optional[PredictorSuiteConfig] = None) -> None:
+        super().__init__(sq_size=sq_size, predictors=predictors)
+        self.sq_latency = sq_latency
+        self.use_delay = use_delay
+        self.name = "indexed-3-fwd+dly" if use_delay else "indexed-3-fwd"
+        self.fsp = ForwardingStorePredictor(self.predictor_config.fsp)
+        self.sat = StoreAliasTable(self.predictor_config.sat)
+        self.ddp = DelayDistancePredictor(self.predictor_config.ddp, sq_size=sq_size)
+
+    # -- decode / rename --------------------------------------------------------
+
+    def predict_load(self, load_pc: int, ssn_ren: int, ssn_cmt: int,
+                     oracle_dep_ssn: int = 0) -> LoadPrediction:
+        self.stats.loads_predicted += 1
+        entries = self.fsp.lookup(load_pc)
+        best_ssn = 0
+        best_pc: Optional[int] = None
+        for entry in entries:
+            ssn = self.sat.lookup_partial(entry.store_pc)
+            if ssn > best_ssn:
+                best_ssn = ssn
+                best_pc = entry.store_pc
+        predict_forward = best_ssn > ssn_cmt
+        if predict_forward:
+            self.stats.loads_predicted_forwarding += 1
+
+        dly_ssn = 0
+        if self.use_delay:
+            dly_ssn = self.ddp.delay_ssn(load_pc, ssn_ren)
+            if dly_ssn > ssn_cmt:
+                self.stats.delay_predictions += 1
+            else:
+                dly_ssn = 0
+
+        return LoadPrediction(fwd_ssn=best_ssn, dly_ssn=dly_ssn,
+                              predicted_store_pc=best_pc, predict_forward=predict_forward)
+
+    def store_renamed(self, store_pc: int, ssn: int) -> Optional[SATUndoRecord]:
+        return self.sat.update(store_pc, ssn)
+
+    def store_squashed(self, store_pc: int, ssn: int, token: Optional[SATUndoRecord]) -> None:
+        if token is not None and self.predictor_config.sat.repair == "log":
+            self.sat.undo(token)
+
+    # -- execute ----------------------------------------------------------------
+
+    def assumed_load_latency(self, prediction: LoadPrediction, l1_latency: int) -> int:
+        # Indexed SQ latency is below cache latency, so the scheduler can
+        # ignore the forward/no-forward distinction entirely (Section 4.2).
+        return l1_latency
+
+    def forward(self, addr: int, size: int, older_than_ssn: int,
+                prediction: LoadPrediction, store_queue: StoreQueue) -> ForwardDecision:
+        if prediction.fwd_ssn == 0:
+            return ForwardDecision(forwarded=False)
+        entry = store_queue.read_indexed(prediction.fwd_ssn)
+        if entry is None or not entry.executed or entry.addr is None:
+            return ForwardDecision(forwarded=False)
+        if entry.ssn > older_than_ssn:
+            # The predicted slot now holds a *younger* store (the predicted
+            # store committed and the slot was reused); forwarding from it
+            # would violate program order, so the load uses the cache.
+            return ForwardDecision(forwarded=False)
+        if entry.addr != addr or size > entry.size:
+            return ForwardDecision(forwarded=False)
+        mask = (1 << (8 * size)) - 1
+        return ForwardDecision(forwarded=True, value=entry.value & mask,
+                               forward_ssn=entry.ssn, from_entry=entry)
+
+    # -- commit -----------------------------------------------------------------
+
+    def load_committed(self, info: LoadCommitInfo) -> None:
+        """FSP and DDP training per Sections 3.2 and 3.3."""
+        last_ssn, last_pc = self.svw.last_writer(info.addr, info.size)
+        distance = info.ssn_cmt - last_ssn
+        could_forward = last_ssn > 0 and distance < self.sq_size
+        predicted_pc = info.prediction.predicted_store_pc
+        predicted_pc_correct = (predicted_pc is not None and last_pc != 0 and
+                                predicted_pc == self.fsp.partial_store_pc(last_pc))
+
+        if predicted_pc_correct:
+            self.stats.fsp_correct_pc += 1
+        elif predicted_pc is not None:
+            self.stats.fsp_wrong_pc += 1
+
+        # ---- FSP training -----------------------------------------------------
+        # Section 3.2: learn dependences on correct forwarding (reinforce) and
+        # on mis-forwardings where even the store PC was unpredicted (create
+        # new dependences); unlearn when the dependence cannot be useful
+        # (writer further away than the SQ) or when the store PC is right but
+        # the dynamic instance is not (not-most-recent forwarding).  New
+        # dependences are created only from *violations* so that SSBF/SPCT
+        # aliasing on non-forwarding loads cannot poison the predictor.
+        if info.forwarded and not info.violation:
+            # Correct forwarding: reinforce the dependence known to be useful.
+            if last_pc != 0:
+                self.fsp.strengthen(info.pc, last_pc)
+        elif info.violation and not predicted_pc_correct and last_pc != 0:
+            # Mis-forwarding where we failed to predict even the store PC:
+            # create a new, potentially useful dependence.
+            self.fsp.insert(info.pc, last_pc)
+        elif info.violation and predicted_pc_correct:
+            # Right store PC, wrong dynamic instance *and* it cost a flush:
+            # reinforce anyway (the dependence is real) — the delay predictor
+            # is the mechanism that prevents the next flush.
+            self.fsp.strengthen(info.pc, last_pc)
+        elif (predicted_pc_correct and not info.forwarded and could_forward
+              and info.prediction.fwd_ssn != last_ssn):
+            # Correct store PC but wrong dynamic instance (not-most-recent
+            # forwarding): there is no point waiting on the predicted
+            # instance, so unlearn.
+            self.fsp.weaken(info.pc, last_pc)
+        elif predicted_pc is not None and not could_forward:
+            # The load and the most recent store to its address are further
+            # apart than the SQ: no forwarding is possible, unlearn so the
+            # load stops waiting on its predicted store.
+            self.fsp.weaken_all(info.pc)
+
+        # ---- DDP training -----------------------------------------------------
+        if not self.use_delay:
+            return
+        # A load is a candidate for delay only if it is "difficult": it either
+        # flushed (mis-forwarding) or it carried a forwarding prediction that
+        # named the wrong dynamic store.  Loads with no prediction and no
+        # violation are left alone — SSBF aliasing would otherwise make every
+        # streaming load look like it had a nearby writer.
+        wrong_prediction = info.prediction.fwd_ssn != last_ssn
+        if info.violation or (info.prediction.fwd_ssn != 0 and wrong_prediction):
+            self.ddp.train_wrong_prediction(info.pc, max(distance, 0))
+        elif not wrong_prediction:
+            self.ddp.train_correct_prediction(info.pc)
+
+    # -- functional warming ------------------------------------------------------
+
+    def warm_load(self, load_pc: int, addr: int, size: int, dep_ssn: int,
+                  dep_pc: int, would_forward: bool, ssn_cmt: int) -> None:
+        """FSP/DDP warming through the *detailed* training rules.
+
+        A commit-time info record is synthesised as the detailed core would
+        have seen it — ``forwarded`` approximated by the replay's
+        ``would_forward`` signal, no violation (functional replay cannot
+        mis-speculate) — and fed to :meth:`load_committed`.  Strengthening
+        *and* the weakening rules (not-most-recent instances, writers
+        further away than the SQ) therefore apply exactly as in detailed
+        mode, which keeps the warmed FSP from over-predicting; new
+        dependences are created because ``strengthen`` inserts on a miss,
+        standing in for the violation-driven inserts of detailed mode.
+        """
+        prediction = self.predict_load(load_pc, ssn_cmt, ssn_cmt, dep_ssn)
+        info = LoadCommitInfo(
+            pc=load_pc, addr=addr, size=size,
+            spec_value=0, correct_value=0,
+            forwarded=would_forward,
+            forward_ssn=dep_ssn if would_forward else 0,
+            prediction=prediction,
+            ssn_at_rename=ssn_cmt, ssn_cmt=ssn_cmt,
+            violation=False,
+        )
+        self.load_committed(info)
+
+    def clear_ssn_state(self) -> None:
+        super().clear_ssn_state()
+        self.sat.clear()
+
+    def state_signature(self) -> tuple:
+        return super().state_signature() + (
+            self.fsp.state_signature(), self.sat.state_signature(),
+            self.ddp.state_signature())

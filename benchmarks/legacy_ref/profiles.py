@@ -1,0 +1,184 @@
+# Frozen seed reference (src/repro/workloads/profiles.py @ PR 4) — see legacy_ref/__init__.py.
+"""Per-benchmark workload profiles.
+
+The paper evaluates 47 programs: 18 MediaBench runs, 16 SPECint runs, and 13
+SPECfp runs (Table 3 lists all of them).  Each :class:`WorkloadProfile`
+below describes the store-load forwarding structure of one of those programs
+as a set of knobs the suite composer (:mod:`legacy_ref.suites`) turns
+into a kernel mix:
+
+* ``forward_rate`` — target fraction of dynamic loads that forward, taken
+  directly from the first column of Table 3.
+* ``not_most_recent`` — share of forwarding loads exhibiting
+  not-most-recent-instance forwarding (the ``X[i] = A*X[i-2]`` pathology);
+  set high for the programs the paper calls out (mesa.texgen, bzip2, ammp,
+  equake, wupwise, sixtrack).
+* ``fsp_pressure`` — share of forwarding loads whose producer rotates over
+  many static stores (FSP conflict pressure; eon, vortex, gs).
+* ``wide_narrow`` — share of forwarding loads forwarded from a wider store
+  (upper-half loads cannot be captured by indexed forwarding).
+* ``pointer_chase`` — share of non-forwarding loads that are serially
+  dependent over a large working set (mcf, art, ammp, parser...).
+* ``working_set_kb`` — streaming working set size, which sets the cache-miss
+  profile and therefore how long commits (and hence DDP delays) take.
+* ``fp_fraction`` — floating-point share of the non-forwarding work.
+* ``branchy`` / ``branch_taken_prob`` — weight and bias of the
+  data-dependent-branch kernel (branch misprediction background).
+
+The knob values are calibration targets, not measurements of the original
+binaries: forwarding rates follow Table 3 exactly, while the qualitative
+knobs follow the behaviours the paper attributes to each program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Suite identifiers (match the grouping in Table 3 / Figure 4).
+MEDIA = "media"
+INT = "int"
+FP = "fp"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Forwarding-structure description of one proxy benchmark."""
+
+    name: str
+    suite: str
+    forward_rate: float
+    not_most_recent: float = 0.05
+    fsp_pressure: float = 0.05
+    wide_narrow: float = 0.02
+    pointer_chase: float = 0.10
+    pointer_chains: int = 6           # independent chase chains (memory-level parallelism)
+    working_set_kb: int = 128
+    fp_fraction: float = 0.10
+    branchy: float = 0.10
+    branch_taken_prob: float = 0.7
+    forwarding_distance: int = 4      # globals in the RMW kernel (store distance)
+    stack_slots: int = 4              # spill/fill depth in the call kernel
+
+    def __post_init__(self) -> None:
+        for field_name in ("forward_rate", "not_most_recent", "fsp_pressure",
+                           "wide_narrow", "pointer_chase", "fp_fraction", "branchy",
+                           "branch_taken_prob"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {field_name}={value} outside [0, 1]")
+        if self.suite not in (MEDIA, INT, FP):
+            raise ValueError(f"{self.name}: unknown suite {self.suite!r}")
+        if self.working_set_kb <= 0:
+            raise ValueError(f"{self.name}: working set must be positive")
+
+
+def _p(name: str, suite: str, fwd_pct: float, **kwargs) -> WorkloadProfile:
+    """Shorthand constructor taking the forwarding rate in percent (as printed
+    in Table 3)."""
+    return WorkloadProfile(name=name, suite=suite, forward_rate=fwd_pct / 100.0, **kwargs)
+
+
+#: All 47 benchmark profiles, in the order of Table 3.
+PROFILES: List[WorkloadProfile] = [
+    # ----------------------------------------------------------- MediaBench --
+    _p("adpcm.d", MEDIA, 0.0, working_set_kb=16, fp_fraction=0.0, branchy=0.20,
+       pointer_chase=0.0),
+    _p("adpcm.e", MEDIA, 0.0, working_set_kb=16, fp_fraction=0.0, branchy=0.20,
+       pointer_chase=0.0),
+    _p("epic.e", MEDIA, 8.6, working_set_kb=64, fp_fraction=0.30),
+    _p("epic.d", MEDIA, 19.2, working_set_kb=64, fp_fraction=0.30, stack_slots=5),
+    _p("g721.d", MEDIA, 7.4, working_set_kb=32, fp_fraction=0.05, branchy=0.15),
+    _p("g721.e", MEDIA, 10.5, working_set_kb=32, fp_fraction=0.05, branchy=0.15),
+    _p("gs.d", MEDIA, 26.5, fsp_pressure=0.10, working_set_kb=256, branchy=0.15,
+       not_most_recent=0.10),
+    _p("gsm.d", MEDIA, 3.0, working_set_kb=32, wide_narrow=0.10, not_most_recent=0.15),
+    _p("gsm.e", MEDIA, 7.2, working_set_kb=32, not_most_recent=0.15, wide_narrow=0.05),
+    _p("jpeg.d", MEDIA, 1.7, working_set_kb=96, wide_narrow=0.10, not_most_recent=0.10,
+       fp_fraction=0.15),
+    _p("jpeg.e", MEDIA, 14.3, working_set_kb=96, wide_narrow=0.05, fp_fraction=0.15),
+    _p("mesa.m", MEDIA, 43.6, working_set_kb=128, fp_fraction=0.40, stack_slots=6),
+    _p("mesa.o", MEDIA, 39.2, working_set_kb=128, fp_fraction=0.40, stack_slots=6),
+    _p("mesa.t", MEDIA, 35.9, not_most_recent=0.45, working_set_kb=256, fp_fraction=0.40,
+       stack_slots=6),
+    _p("mpeg2.d", MEDIA, 25.2, working_set_kb=128, fp_fraction=0.20, stack_slots=5),
+    _p("mpeg2.e", MEDIA, 4.8, working_set_kb=128, fp_fraction=0.25),
+    _p("pegwit.d", MEDIA, 8.4, working_set_kb=64, not_most_recent=0.15),
+    _p("pegwit.e", MEDIA, 9.2, working_set_kb=64, not_most_recent=0.15),
+    # -------------------------------------------------------------- SPECint --
+    _p("bzip2", INT, 11.7, not_most_recent=0.20, working_set_kb=512, pointer_chase=0.20,
+       branchy=0.15),
+    _p("crafty", INT, 7.0, fsp_pressure=0.06, working_set_kb=256, branchy=0.25,
+       branch_taken_prob=0.6),
+    _p("eon.c", INT, 28.4, fsp_pressure=0.14, working_set_kb=128, branchy=0.15,
+       fp_fraction=0.15, stack_slots=6),
+    _p("eon.k", INT, 21.0, fsp_pressure=0.14, working_set_kb=128, branchy=0.15,
+       fp_fraction=0.15, stack_slots=6),
+    _p("eon.r", INT, 24.2, fsp_pressure=0.14, working_set_kb=128, branchy=0.15,
+       fp_fraction=0.15, stack_slots=6),
+    _p("gap", INT, 9.5, pointer_chase=0.30, working_set_kb=512, branchy=0.10),
+    _p("gcc", INT, 9.2, working_set_kb=512, branchy=0.25, branch_taken_prob=0.6,
+       pointer_chase=0.20, not_most_recent=0.10),
+    _p("gzip", INT, 19.6, working_set_kb=256, branchy=0.15, not_most_recent=0.05),
+    _p("mcf", INT, 2.6, pointer_chase=0.80, pointer_chains=2, working_set_kb=4096,
+       branchy=0.10, not_most_recent=0.15),
+    _p("parser", INT, 14.0, pointer_chase=0.40, working_set_kb=512, branchy=0.20,
+       not_most_recent=0.15, branch_taken_prob=0.6),
+    _p("perl.d", INT, 10.8, fsp_pressure=0.04, working_set_kb=256, branchy=0.20),
+    _p("perl.s", INT, 12.7, fsp_pressure=0.04, working_set_kb=256, branchy=0.20),
+    _p("twolf", INT, 9.7, pointer_chase=0.30, working_set_kb=512, branchy=0.20,
+       not_most_recent=0.15, branch_taken_prob=0.6),
+    _p("vortex", INT, 24.5, fsp_pressure=0.10, working_set_kb=512, branchy=0.10,
+       stack_slots=6),
+    _p("vpr.p", INT, 8.4, pointer_chase=0.25, working_set_kb=256, branchy=0.20,
+       branch_taken_prob=0.6, not_most_recent=0.15),
+    _p("vpr.r", INT, 18.9, pointer_chase=0.30, working_set_kb=1024, branchy=0.15,
+       not_most_recent=0.10),
+    # --------------------------------------------------------------- SPECfp --
+    _p("ammp", FP, 13.7, not_most_recent=0.20, pointer_chase=0.50, working_set_kb=2048,
+       fp_fraction=0.60, branchy=0.03),
+    _p("applu", FP, 13.1, working_set_kb=1024, fp_fraction=0.70, branchy=0.02),
+    _p("apsi", FP, 6.9, working_set_kb=4096, fp_fraction=0.70, branchy=0.02,
+       not_most_recent=0.20, pointer_chase=0.20),
+    _p("art", FP, 2.0, pointer_chase=0.70, pointer_chains=3, working_set_kb=8192,
+       fp_fraction=0.50, branchy=0.03),
+    _p("equake", FP, 4.2, not_most_recent=0.25, pointer_chase=0.40, working_set_kb=2048,
+       fp_fraction=0.60, branchy=0.03),
+    _p("facerec", FP, 2.0, working_set_kb=1024, fp_fraction=0.70, branchy=0.02),
+    _p("galgel", FP, 1.7, working_set_kb=512, fp_fraction=0.75, branchy=0.02),
+    _p("lucas", FP, 0.0, working_set_kb=2048, fp_fraction=0.80, branchy=0.01,
+       pointer_chase=0.0),
+    _p("mesa", FP, 25.4, not_most_recent=0.20, working_set_kb=1024, fp_fraction=0.50,
+       branchy=0.05, stack_slots=6),
+    _p("mgrid", FP, 5.5, working_set_kb=1024, fp_fraction=0.75, branchy=0.02),
+    _p("sixtrack", FP, 33.9, not_most_recent=0.22, fsp_pressure=0.06, working_set_kb=512,
+       fp_fraction=0.60, branchy=0.03, stack_slots=6),
+    _p("swim", FP, 3.2, working_set_kb=4096, fp_fraction=0.75, branchy=0.01),
+    _p("wupwise", FP, 18.4, not_most_recent=0.25, working_set_kb=1024, fp_fraction=0.65,
+       branchy=0.02),
+]
+
+#: Profiles keyed by name.
+PROFILE_INDEX: Dict[str, WorkloadProfile] = {profile.name: profile for profile in PROFILES}
+
+#: The nine programs used for the Figure 5 sensitivity study (three per suite).
+SENSITIVITY_BENCHMARKS: List[str] = [
+    "jpeg.d", "mesa.t", "mpeg2.d",       # MediaBench
+    "eon.c", "vortex", "vpr.r",          # SPECint
+    "apsi", "equake", "wupwise",         # SPECfp
+]
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by benchmark name."""
+    try:
+        return PROFILE_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(PROFILE_INDEX)}") from None
+
+
+def profiles_for_suite(suite: str) -> List[WorkloadProfile]:
+    """All profiles in one suite (``'media'``, ``'int'``, or ``'fp'``)."""
+    if suite not in (MEDIA, INT, FP):
+        raise ValueError(f"unknown suite {suite!r}")
+    return [profile for profile in PROFILES if profile.suite == suite]

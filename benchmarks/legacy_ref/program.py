@@ -1,0 +1,169 @@
+# Frozen seed reference (src/repro/workloads/program.py @ PR 4) — see legacy_ref/__init__.py.
+"""Program builder: the substrate workload kernels are written against.
+
+A :class:`ProgramBuilder` manages the resources a synthetic program needs —
+stable static PCs (so the PC-indexed predictors see the same static
+instruction across dynamic instances), architectural registers, disjoint
+memory regions, and deterministic pseudo-random values — and provides typed
+emit helpers that append :class:`~legacy_ref.uop.MicroOp` records to the
+trace being built.
+
+A :class:`Kernel` is a small static code fragment: it allocates its PCs,
+registers, and memory regions once at construction and then emits one loop
+iteration's worth of dynamic micro-ops every time :meth:`Kernel.emit` is
+called.  Workload composers interleave iterations of several kernels to
+approximate a target benchmark profile.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from legacy_ref.registers import FP_REG_COUNT, INT_REG_COUNT, REG_ZERO
+from legacy_ref.trace import DynamicTrace
+from legacy_ref.uop import MemAccess, MicroOp, OpClass
+
+#: Base of the synthetic code segment; static PCs are allocated upward from here.
+CODE_BASE = 0x0040_0000
+
+#: Base of the synthetic data segment; memory regions are allocated upward.
+DATA_BASE = 0x1000_0000
+
+#: Region alignment (keeps independently allocated regions on distinct cache lines).
+REGION_ALIGN = 64
+
+
+class ProgramBuilder:
+    """Builds one synthetic program / dynamic trace."""
+
+    def __init__(self, name: str, seed: int = 1) -> None:
+        self.name = name
+        self.rng = random.Random(seed)
+        self.uops: List[MicroOp] = []
+        self._next_pc = CODE_BASE
+        self._next_data = DATA_BASE
+        self._next_int_reg = 1          # r0 reserved as a generic source
+        self._next_fp_reg = INT_REG_COUNT
+
+    # -- resource allocation ----------------------------------------------------
+
+    def alloc_pc(self) -> int:
+        """Allocate a new static instruction address."""
+        pc = self._next_pc
+        self._next_pc += 4
+        return pc
+
+    def alloc_pcs(self, count: int) -> List[int]:
+        """Allocate ``count`` consecutive static instruction addresses."""
+        return [self.alloc_pc() for _ in range(count)]
+
+    def alloc_region(self, size_bytes: int) -> int:
+        """Allocate a data region of at least ``size_bytes`` bytes."""
+        if size_bytes <= 0:
+            raise ValueError("region size must be positive")
+        base = self._next_data
+        rounded = (size_bytes + REGION_ALIGN - 1) // REGION_ALIGN * REGION_ALIGN
+        self._next_data += rounded + REGION_ALIGN
+        return base
+
+    def alloc_int_reg(self) -> int:
+        """Allocate an integer register (wraps around, excluding the zero reg)."""
+        reg = self._next_int_reg
+        self._next_int_reg += 1
+        if self._next_int_reg >= REG_ZERO:
+            self._next_int_reg = 1
+        return reg
+
+    def alloc_fp_reg(self) -> int:
+        """Allocate a floating-point register (wraps around)."""
+        reg = self._next_fp_reg
+        self._next_fp_reg += 1
+        if self._next_fp_reg >= INT_REG_COUNT + FP_REG_COUNT:
+            self._next_fp_reg = INT_REG_COUNT
+        return reg
+
+    def alloc_int_regs(self, count: int) -> List[int]:
+        return [self.alloc_int_reg() for _ in range(count)]
+
+    def alloc_fp_regs(self, count: int) -> List[int]:
+        return [self.alloc_fp_reg() for _ in range(count)]
+
+    def value(self, size: int = 8) -> int:
+        """A deterministic pseudo-random store value of the given width."""
+        return self.rng.getrandbits(8 * size)
+
+    # -- emit helpers -----------------------------------------------------------
+
+    def load(self, pc: int, dest: int, addr: int, size: int = 8,
+             srcs: Sequence[int] = ()) -> MicroOp:
+        uop = MicroOp(pc=pc, op_class=OpClass.LOAD, dest=dest, srcs=tuple(srcs),
+                      mem=MemAccess(addr=addr, size=size))
+        self.uops.append(uop)
+        return uop
+
+    def store(self, pc: int, addr: int, value: int, size: int = 8,
+              srcs: Sequence[int] = ()) -> MicroOp:
+        uop = MicroOp(pc=pc, op_class=OpClass.STORE, srcs=tuple(srcs),
+                      mem=MemAccess(addr=addr, size=size, value=value))
+        self.uops.append(uop)
+        return uop
+
+    def alu(self, pc: int, dest: int, srcs: Sequence[int] = (),
+            op_class: OpClass = OpClass.INT_ALU) -> MicroOp:
+        uop = MicroOp(pc=pc, op_class=op_class, dest=dest, srcs=tuple(srcs))
+        self.uops.append(uop)
+        return uop
+
+    def branch(self, pc: int, taken: bool, target: Optional[int] = None,
+               srcs: Sequence[int] = (), call: bool = False, ret: bool = False) -> MicroOp:
+        if taken and target is None:
+            target = pc + 64
+        uop = MicroOp(pc=pc, op_class=OpClass.BRANCH, srcs=tuple(srcs),
+                      is_taken=taken, target=target, hint_call=call, hint_return=ret)
+        self.uops.append(uop)
+        return uop
+
+    def nop(self, pc: int) -> MicroOp:
+        uop = MicroOp(pc=pc, op_class=OpClass.NOP)
+        self.uops.append(uop)
+        return uop
+
+    # -- finishing --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def finish(self) -> DynamicTrace:
+        """Materialise the trace built so far."""
+        return DynamicTrace(name=self.name, uops=self.uops)
+
+
+class Kernel:
+    """Base class for workload kernels.
+
+    A kernel allocates its static resources (PCs, registers, memory regions)
+    once in ``__init__`` and emits one dynamic iteration per :meth:`emit`
+    call.  Subclasses report how many loads and how many *forwarding* loads
+    a typical iteration contains so composers can mix kernels to hit a target
+    forwarding rate.
+    """
+
+    #: Loads emitted per iteration (approximate, used for mix planning).
+    loads_per_iteration: float = 0.0
+    #: Loads per iteration expected to forward from an in-flight store.
+    forwarding_loads_per_iteration: float = 0.0
+
+    def __init__(self, builder: ProgramBuilder) -> None:
+        self.builder = builder
+
+    def emit(self) -> None:
+        """Emit one dynamic iteration of the kernel."""
+        raise NotImplementedError
+
+    @property
+    def forwarding_fraction(self) -> float:
+        """Fraction of this kernel's loads that forward."""
+        if self.loads_per_iteration == 0:
+            return 0.0
+        return self.forwarding_loads_per_iteration / self.loads_per_iteration

@@ -1,0 +1,74 @@
+# Frozen seed reference (src/repro/pipeline/rename.py @ PR 4) — see legacy_ref/__init__.py.
+"""Register alias table (RAT).
+
+The RAT maps each architectural register to the dynamic sequence number of
+the in-flight instruction that produces it (or to "architectural state" when
+no in-flight producer exists).  It is checkpoint-free: every rename records
+the previous mapping in the renamed instruction, and a pipeline flush
+restores mappings by walking the squashed instructions youngest-first —
+the same log-based repair the paper describes for the SAT.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from legacy_ref.registers import REG_ZERO, TOTAL_REG_COUNT, validate_reg
+
+#: Sentinel producer meaning "value lives in the architectural register file".
+ARCH_READY = -1
+
+
+class RegisterAliasTable:
+    """Architectural register -> producing-instruction map with log repair."""
+
+    def __init__(self) -> None:
+        self._map: List[int] = [ARCH_READY] * TOTAL_REG_COUNT
+
+    def producer_of(self, reg: int) -> int:
+        """Sequence number of the in-flight producer of ``reg``.
+
+        Returns :data:`ARCH_READY` when the register's value is already
+        architectural (no in-flight producer) — including always for the
+        zero register.
+        """
+        validate_reg(reg)
+        if reg == REG_ZERO:
+            return ARCH_READY
+        return self._map[reg]
+
+    def rename_dest(self, reg: Optional[int], seq: int) -> Optional[Tuple[int, int]]:
+        """Rename a destination register to producer ``seq``.
+
+        Returns an undo record ``(reg, previous_producer)`` or ``None`` when
+        the instruction has no destination (or writes the zero register).
+        """
+        if reg is None:
+            return None
+        validate_reg(reg)
+        if reg == REG_ZERO:
+            return None
+        previous = self._map[reg]
+        self._map[reg] = seq
+        return (reg, previous)
+
+    def retire_dest(self, reg: Optional[int], seq: int) -> None:
+        """At commit, clear the mapping if this instruction is still the
+        youngest producer of its destination."""
+        if reg is None or reg == REG_ZERO:
+            return
+        if self._map[reg] == seq:
+            self._map[reg] = ARCH_READY
+
+    def undo(self, record: Optional[Tuple[int, int]]) -> None:
+        """Undo one rename (applied to squashed instructions youngest-first)."""
+        if record is None:
+            return
+        reg, previous = record
+        self._map[reg] = previous
+
+    def snapshot(self) -> List[int]:
+        return list(self._map)
+
+    def clear(self) -> None:
+        self._map = [ARCH_READY] * TOTAL_REG_COUNT

@@ -1,0 +1,109 @@
+# Frozen seed reference (src/repro/pipeline/stats.py @ PR 4) — see legacy_ref/__init__.py.
+"""Simulation statistics.
+
+:class:`SimStats` accumulates every counter the experiments report:
+Table 3's forwarding/mis-forwarding/delay diagnostics, Figure 4's execution
+times, and general sanity counters (branch mispredictions, cache misses,
+re-execution rate) used by tests and the EXPERIMENTS.md narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one simulation run."""
+
+    # Progress.
+    cycles: int = 0
+    committed: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_branches: int = 0
+
+    # Store-load forwarding diagnostics (Table 3).
+    loads_forwarded: int = 0              # value obtained from the SQ
+    loads_should_forward: int = 0         # an older in-flight store had the value
+    mis_forwardings: int = 0              # missed forwarding -> value wrong -> flush
+    ordering_violations: int = 0          # all re-execution value mismatches
+    loads_delayed: int = 0                # delayed by the DDP constraint
+    total_delay_cycles: int = 0
+    loads_waited_on_prediction: int = 0   # scheduling wait on the predicted store
+
+    # Pipeline events.
+    flushes: int = 0
+    branch_mispredictions: int = 0
+    replays: int = 0
+    ssn_wraps: int = 0
+    squashed_uops: int = 0
+
+    # Front-end / structural stalls (cycles during which the stage could not
+    # make progress for the given reason; diagnostic only).
+    fetch_stall_cycles: int = 0
+    rob_stall_cycles: int = 0
+    iq_stall_cycles: int = 0
+    lq_stall_cycles: int = 0
+    sq_stall_cycles: int = 0
+
+    # Re-execution filter.
+    loads_reexecuted: int = 0
+
+    # Memory system.
+    l1_misses: int = 0
+    l2_misses: int = 0
+
+    # -- derived metrics --------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def forwarding_rate(self) -> float:
+        """Fraction of committed loads that should obtain values from the SQ."""
+        return self.loads_should_forward / self.committed_loads if self.committed_loads else 0.0
+
+    @property
+    def forwarded_rate(self) -> float:
+        """Fraction of committed loads that actually obtained values from the SQ."""
+        return self.loads_forwarded / self.committed_loads if self.committed_loads else 0.0
+
+    @property
+    def mis_forwardings_per_1000_loads(self) -> float:
+        return 1000.0 * self.mis_forwardings / self.committed_loads if self.committed_loads else 0.0
+
+    @property
+    def percent_loads_delayed(self) -> float:
+        return 100.0 * self.loads_delayed / self.committed_loads if self.committed_loads else 0.0
+
+    @property
+    def avg_delay_cycles(self) -> float:
+        return self.total_delay_cycles / self.loads_delayed if self.loads_delayed else 0.0
+
+    @property
+    def reexecution_rate(self) -> float:
+        return self.loads_reexecuted / self.committed_loads if self.committed_loads else 0.0
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        return self.branch_mispredictions / self.committed_branches if self.committed_branches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten counters and derived metrics for reporting."""
+        result: Dict[str, float] = {}
+        for name, value in self.__dict__.items():
+            result[name] = value
+        result.update({
+            "ipc": self.ipc,
+            "forwarding_rate": self.forwarding_rate,
+            "forwarded_rate": self.forwarded_rate,
+            "mis_forwardings_per_1000_loads": self.mis_forwardings_per_1000_loads,
+            "percent_loads_delayed": self.percent_loads_delayed,
+            "avg_delay_cycles": self.avg_delay_cycles,
+            "reexecution_rate": self.reexecution_rate,
+            "branch_misprediction_rate": self.branch_misprediction_rate,
+        })
+        return result

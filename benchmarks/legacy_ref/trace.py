@@ -1,0 +1,230 @@
+# Frozen seed reference (src/repro/isa/trace.py @ PR 4) — see legacy_ref/__init__.py.
+"""Dynamic trace containers and a simple on-disk format.
+
+A :class:`DynamicTrace` is a materialised list of :class:`~legacy_ref.uop.MicroOp`
+records in program order, plus summary statistics.  Workload generators can
+either stream micro-ops lazily into the simulator or materialise them into a
+trace for inspection, serialisation, and reuse across configurations (the
+same trace must be fed to every store-queue configuration for the Figure 4
+comparison to be meaningful, which is why the harness materialises traces
+once per workload).
+
+The on-disk format is a line-oriented text format, chosen for debuggability
+over density; traces used by the benchmarks are small (tens of thousands of
+micro-ops).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from legacy_ref.uop import MemAccess, MicroOp, OpClass
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics over a dynamic trace."""
+
+    total: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    int_ops: int = 0
+    fp_ops: int = 0
+    unique_pcs: int = 0
+    unique_load_pcs: int = 0
+    unique_store_pcs: int = 0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.total if self.total else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.stores / self.total if self.total else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+
+def compute_stats(uops: Sequence[MicroOp]) -> TraceStats:
+    """Compute :class:`TraceStats` over a sequence of micro-ops."""
+    stats = TraceStats(total=len(uops))
+    pcs = set()
+    load_pcs = set()
+    store_pcs = set()
+    for uop in uops:
+        pcs.add(uop.pc)
+        if uop.is_load:
+            stats.loads += 1
+            load_pcs.add(uop.pc)
+        elif uop.is_store:
+            stats.stores += 1
+            store_pcs.add(uop.pc)
+        elif uop.is_branch:
+            stats.branches += 1
+            if uop.is_taken:
+                stats.taken_branches += 1
+        elif uop.op_class.is_fp:
+            stats.fp_ops += 1
+        elif uop.op_class.is_int:
+            stats.int_ops += 1
+    stats.unique_pcs = len(pcs)
+    stats.unique_load_pcs = len(load_pcs)
+    stats.unique_store_pcs = len(store_pcs)
+    return stats
+
+
+@dataclass
+class DynamicTrace:
+    """A materialised dynamic instruction trace.
+
+    Attributes
+    ----------
+    name:
+        Workload name (e.g. ``"vortex"`` or ``"mesa.t"``).
+    uops:
+        Micro-ops in program order.
+    """
+
+    name: str
+    uops: List[MicroOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self.uops)
+
+    def __getitem__(self, idx: int) -> MicroOp:
+        return self.uops[idx]
+
+    @property
+    def stats(self) -> TraceStats:
+        return compute_stats(self.uops)
+
+    def extend(self, uops: Iterable[MicroOp]) -> None:
+        self.uops.extend(uops)
+
+    def truncated(self, max_uops: int) -> "DynamicTrace":
+        """Return a copy limited to the first ``max_uops`` micro-ops."""
+        return DynamicTrace(name=self.name, uops=list(self.uops[:max_uops]))
+
+
+class TraceWriter:
+    """Incrementally builds a :class:`DynamicTrace`.
+
+    Workload kernels append micro-ops through this class; it performs light
+    validation (every store carries a value, sizes are legal) because
+    :class:`~legacy_ref.uop.MicroOp` validates on construction.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._trace = DynamicTrace(name=name)
+
+    def append(self, uop: MicroOp) -> None:
+        self._trace.uops.append(uop)
+
+    def extend(self, uops: Iterable[MicroOp]) -> None:
+        self._trace.uops.extend(uops)
+
+    def finish(self) -> DynamicTrace:
+        return self._trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+_FORMAT_VERSION = 1
+
+
+def _format_uop(uop: MicroOp) -> str:
+    fields = [
+        f"{uop.pc:x}",
+        uop.op_class.name,
+        str(uop.dest) if uop.dest is not None else "-",
+        ",".join(str(s) for s in uop.srcs) if uop.srcs else "-",
+    ]
+    if uop.mem is not None:
+        mem = f"{uop.mem.addr:x}:{uop.mem.size}"
+        if uop.mem.value is not None:
+            mem += f":{uop.mem.value:x}"
+        fields.append(mem)
+    else:
+        fields.append("-")
+    if uop.is_branch:
+        flags = "T" if uop.is_taken else "N"
+        if uop.hint_call:
+            flags += "C"
+        if uop.hint_return:
+            flags += "R"
+        fields.append(flags)
+        fields.append(f"{uop.target:x}" if uop.target is not None else "-")
+    else:
+        fields.append("-")
+        fields.append("-")
+    return " ".join(fields)
+
+
+def _parse_uop(line: str) -> MicroOp:
+    parts = line.split()
+    if len(parts) != 7:
+        raise ValueError(f"malformed trace line: {line!r}")
+    pc = int(parts[0], 16)
+    op_class = OpClass[parts[1]]
+    dest = None if parts[2] == "-" else int(parts[2])
+    srcs = () if parts[3] == "-" else tuple(int(s) for s in parts[3].split(","))
+    mem: Optional[MemAccess] = None
+    if parts[4] != "-":
+        mem_parts = parts[4].split(":")
+        addr = int(mem_parts[0], 16)
+        size = int(mem_parts[1])
+        value = int(mem_parts[2], 16) if len(mem_parts) > 2 else None
+        mem = MemAccess(addr=addr, size=size, value=value)
+    is_taken = False
+    hint_call = False
+    hint_return = False
+    target = None
+    if parts[5] != "-":
+        is_taken = "T" in parts[5]
+        hint_call = "C" in parts[5]
+        hint_return = "R" in parts[5]
+        if parts[6] != "-":
+            target = int(parts[6], 16)
+    return MicroOp(pc=pc, op_class=op_class, dest=dest, srcs=srcs, mem=mem,
+                   is_taken=is_taken, target=target, hint_call=hint_call, hint_return=hint_return)
+
+
+def write_trace(trace: DynamicTrace, stream: io.TextIOBase) -> None:
+    """Serialise a trace to a text stream."""
+    stream.write(f"# repro-trace v{_FORMAT_VERSION}\n")
+    stream.write(f"# name {trace.name}\n")
+    stream.write(f"# uops {len(trace)}\n")
+    for uop in trace.uops:
+        stream.write(_format_uop(uop))
+        stream.write("\n")
+
+
+def read_trace(stream: io.TextIOBase) -> DynamicTrace:
+    """Deserialise a trace written by :func:`write_trace`."""
+    name = "trace"
+    uops: List[MicroOp] = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) >= 2 and parts[0] == "name":
+                name = parts[1]
+            continue
+        uops.append(_parse_uop(line))
+    return DynamicTrace(name=name, uops=uops)

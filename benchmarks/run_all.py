@@ -38,6 +38,10 @@ from _common import (  # noqa: E402
     WORKLOAD_SUBSET,
     write_bench_json,
 )
+from bench_core_throughput import (  # noqa: E402
+    assert_core_throughput,
+    measure_core_throughput,
+)
 from bench_engine_speedup import measure_engine_speedup  # noqa: E402
 from bench_sampling_speedup import (  # noqa: E402
     assert_checkpointed_sweep,
@@ -134,6 +138,17 @@ def bench_figure5(engine: ExperimentEngine) -> dict:
     }
 
 
+def bench_core(_engine: ExperimentEngine) -> dict:
+    """Detailed-path throughput: frozen seed stack vs the two-plane core.
+
+    Asserts bit-identical statistics across the three legs and the >= 1.5x
+    before-vs-after bar on the Figure-4 cell (serial, idle_skip on).
+    """
+    data = measure_core_throughput()
+    assert_core_throughput(data)
+    return data
+
+
 def bench_engine(_engine: ExperimentEngine) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         data = measure_engine_speedup(cache_dir=cache_dir)
@@ -183,6 +198,7 @@ BENCHES = (
     ("table3", bench_table3),
     ("figure4", bench_figure4),
     ("figure5", bench_figure5),
+    ("core", bench_core),
     ("engine", bench_engine),
     ("sampling", bench_sampling),
 )

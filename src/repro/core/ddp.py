@@ -33,7 +33,7 @@ from typing import List, Optional
 from repro.core.predictors import DDPConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DDPEntry:
     """One DDP entry."""
 
@@ -46,7 +46,7 @@ class DDPEntry:
     lru: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DDPStats:
     """DDP activity counters."""
 
@@ -76,6 +76,7 @@ class DelayDistancePredictor:
         self._tag_mask = (1 << self.config.tag_bits) - 1
         self._counter_max = (1 << self.config.counter_bits) - 1
         self._no_delay_distance = sq_size  # "distance >= SQ size" means no delay
+        self._tag_shift = self.config.sets.bit_length() - 1
         self._lru_clock = 0
 
     # -- indexing ---------------------------------------------------------------
@@ -84,12 +85,12 @@ class DelayDistancePredictor:
         return (load_pc >> 2) & self._set_mask
 
     def _tag(self, load_pc: int) -> int:
-        return ((load_pc >> 2) >> (self.config.sets.bit_length() - 1)) & self._tag_mask
+        return ((load_pc >> 2) >> self._tag_shift) & self._tag_mask
 
     def _find(self, load_pc: int) -> Optional[DDPEntry]:
-        index = self._index(load_pc)
-        tag = self._tag(load_pc)
-        for entry in self._sets[index]:
+        pc = load_pc >> 2
+        tag = (pc >> self._tag_shift) & self._tag_mask
+        for entry in self._sets[pc & self._set_mask]:
             if entry.valid and entry.tag == tag:
                 return entry
         return None

@@ -25,7 +25,7 @@ from typing import List, Optional
 from repro.core.predictors import FSPConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class FSPEntry:
     """One FSP entry."""
 
@@ -37,7 +37,7 @@ class FSPEntry:
     lru: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FSPStats:
     """FSP activity counters."""
 
@@ -63,6 +63,7 @@ class ForwardingStorePredictor:
         self._tag_mask = (1 << self.config.tag_bits) - 1
         self._store_pc_mask = (1 << self.config.store_pc_bits) - 1
         self._counter_max = (1 << self.config.counter_bits) - 1
+        self._tag_shift = self.config.sets.bit_length() - 1
         self._lru_clock = 0
 
     # -- indexing helpers -------------------------------------------------------
@@ -71,7 +72,7 @@ class ForwardingStorePredictor:
         return (load_pc >> 2) & self._set_mask
 
     def _tag(self, load_pc: int) -> int:
-        return ((load_pc >> 2) >> (self.config.sets.bit_length() - 1)) & self._tag_mask
+        return ((load_pc >> 2) >> self._tag_shift) & self._tag_mask
 
     def partial_store_pc(self, store_pc: int) -> int:
         """Partial store PC as stored in an entry (and used to index the SAT)."""
@@ -87,9 +88,10 @@ class ForwardingStorePredictor:
         and is consulted by callers that want to ignore weak entries.
         """
         self.stats.lookups += 1
-        index = self._index(load_pc)
-        tag = self._tag(load_pc)
-        matches = [e for e in self._sets[index] if e.valid and e.tag == tag]
+        pc = load_pc >> 2
+        tag = (pc >> self._tag_shift) & self._tag_mask
+        matches = [e for e in self._sets[pc & self._set_mask]
+                   if e.valid and e.tag == tag]
         if matches:
             self.stats.hits += 1
             self._lru_clock += 1

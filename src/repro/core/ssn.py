@@ -49,6 +49,9 @@ class SSNAllocator:
     def __post_init__(self) -> None:
         if not 4 <= self.bits <= 64:
             raise ValueError("SSN width must be between 4 and 64 bits")
+        # Wrap mask cached for the per-store allocate fast path (the period
+        # is a power of two, so ``ssn % period == 0`` is a mask test).
+        self._wrap_mask = (1 << self.bits) - 1
 
     @property
     def period(self) -> int:
@@ -61,14 +64,14 @@ class SSNAllocator:
         Returns the new SSN.  Callers should check :meth:`wrapped` to decide
         whether to model the drain-and-clear wrap procedure.
         """
-        self.ssn_rename += 1
-        if self.ssn_rename % self.period == 0:
+        ssn = self.ssn_rename = self.ssn_rename + 1
+        if not ssn & self._wrap_mask:
             self.wraps += 1
-        return self.ssn_rename
+        return ssn
 
     def wrapped(self, ssn: int) -> bool:
         """True if allocating ``ssn`` corresponds to a hardware wrap event."""
-        return ssn % self.period == 0
+        return not ssn & self._wrap_mask
 
     def commit(self, ssn: int) -> None:
         """Record that the store with ``ssn`` committed (in program order)."""

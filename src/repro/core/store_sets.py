@@ -27,7 +27,7 @@ from typing import List, Optional
 from repro.core.predictors import StoreSetsConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreSetsStats:
     """Store Sets activity counters."""
 

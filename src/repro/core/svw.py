@@ -28,7 +28,7 @@ from typing import List, Optional, Tuple
 from repro.core.predictors import SVWConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class SVWStats:
     """SVW filter statistics."""
 
@@ -60,12 +60,21 @@ class StoreSequenceBloomFilter:
     def update(self, addr: int, size: int, ssn: int) -> None:
         """Record that the store with ``ssn`` committed a write to the bytes
         ``[addr, addr+size)``."""
-        for offset in range(size):
-            self._table[self._index(addr + offset)] = ssn
+        table = self._table
+        mask = self._mask
+        for byte_addr in range(addr, addr + size):
+            table[byte_addr & mask] = ssn
 
     def lookup(self, addr: int, size: int) -> int:
         """SSN of the youngest committed store to any byte of the access."""
-        return max(self._table[self._index(addr + offset)] for offset in range(size))
+        table = self._table
+        mask = self._mask
+        best = 0
+        for byte_addr in range(addr, addr + size):
+            ssn = table[byte_addr & mask]
+            if ssn > best:
+                best = ssn
+        return best
 
     def clear(self) -> None:
         self._table = [0] * self.entries
@@ -90,8 +99,10 @@ class StorePCTable:
 
     def update(self, addr: int, size: int, store_pc: int) -> None:
         """Record ``store_pc`` as the last committed writer of these bytes."""
-        for offset in range(size):
-            self._table[self._index(addr + offset)] = store_pc
+        table = self._table
+        mask = self._mask
+        for byte_addr in range(addr, addr + size):
+            table[byte_addr & mask] = store_pc
 
     def lookup(self, addr: int, size: int) -> int:
         """PC of a committed store that wrote one of the access's bytes.
@@ -155,15 +166,18 @@ class SVWFilter:
         identifies the youngest writer; the SPCT entry for that byte supplies
         the PC.
         """
+        ssbf = self.ssbf
+        ssbf_table = ssbf._table
+        ssbf_mask = ssbf._mask
+        spct = self.spct
         best_ssn = -1
         best_pc = 0
-        for offset in range(size):
-            byte_addr = addr + offset
-            ssn = self.ssbf._table[self.ssbf._index(byte_addr)]
+        for byte_addr in range(addr, addr + size):
+            ssn = ssbf_table[byte_addr & ssbf_mask]
             if ssn > best_ssn:
                 best_ssn = ssn
-                best_pc = self.spct._table[self.spct._index(byte_addr)]
-        return max(best_ssn, 0), best_pc
+                best_pc = spct._table[byte_addr & spct._mask]
+        return (best_ssn if best_ssn > 0 else 0), best_pc
 
     def clear(self) -> None:
         """Clear both tables (SSN wrap handling)."""

@@ -27,7 +27,7 @@ from typing import Dict, Optional, Tuple, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.predictors import PredictorSuiteConfig
     from repro.harness.runner import ExperimentSettings, RunRecord
-    from repro.isa.trace import DynamicTrace
+    from repro.isa.plane import EncodedOps
 
 
 @dataclass(frozen=True)
@@ -75,13 +75,14 @@ class IntervalJobSpec:
     checkpoint_dir: Optional[str] = None
 
 
-#: Per-process trace memo: (name, instructions, seed) -> DynamicTrace.  Kept
-#: small; sweeps are ordered workload-major so in practice one entry is live.
-_TRACE_CACHE: Dict[Tuple[str, int, int], "DynamicTrace"] = {}
+#: Per-process trace memo: (name, instructions, seed) -> encoded trace.
+#: Kept small; sweeps are ordered workload-major so in practice one entry is
+#: live.
+_TRACE_CACHE: Dict[Tuple[str, int, int], "EncodedOps"] = {}
 _TRACE_CACHE_LIMIT = 8
 
 
-def _trace_for(spec: JobSpec) -> "DynamicTrace":
+def _trace_for(spec: JobSpec) -> "EncodedOps":
     from repro.workloads.suites import build_workload
 
     key = (spec.workload, spec.settings.instructions, spec.settings.seed)

@@ -161,6 +161,30 @@ class HybridPredictor:
         self.bimodal.update(pc, taken)
         self.gshare.update(pc, taken)
 
+    def resolve(self, pc: int, taken: bool) -> bool:
+        """Fused :meth:`predict` + :meth:`update` for the resolve-immediately
+        pipeline: the component predictions are computed once and reused for
+        both the hybrid choice and the chooser training (bit-identical to
+        the split calls, which recompute them from unchanged state)."""
+        word = pc >> 2
+        bimodal_table = self.bimodal._table
+        gshare = self.gshare
+        gshare_index = word ^ gshare.history
+        gshare_table = gshare._table
+        bimodal_pred = bimodal_table.predict(word)
+        gshare_pred = gshare_table.predict(gshare_index)
+        if bimodal_pred == gshare_pred:
+            predicted = bimodal_pred
+        else:
+            predicted = gshare_pred if self._chooser.predict(word) else bimodal_pred
+            # Train the chooser toward the component that was right.
+            self._chooser.update(word, gshare_pred == taken)
+        bimodal_table.update(word, taken)
+        gshare_table.update(gshare_index, taken)
+        gshare.history = ((gshare.history << 1) | (1 if taken else 0)) \
+            & gshare._history_mask
+        return predicted
+
     def state_signature(self) -> tuple:
         """Hashable snapshot of all three component tables."""
         return (self.bimodal.state_signature(),
@@ -201,14 +225,17 @@ class BranchUnit:
         self.predictions += 1
         mispredicted = False
 
+        # The direction predictor is consulted and trained in one fused pass
+        # (prediction from pre-update state, exactly as the split calls did).
+        predicted_taken = self.direction.resolve(pc, taken)
+
         if is_return:
             predicted_target = self.ras.pop()
             if not taken:
-                mispredicted = self.direction.predict(pc)
+                mispredicted = predicted_taken
             else:
                 mispredicted = predicted_target != target
         else:
-            predicted_taken = self.direction.predict(pc)
             if predicted_taken != taken:
                 mispredicted = True
             elif taken:
@@ -217,8 +244,6 @@ class BranchUnit:
                     self.btb_misses += 1
                     mispredicted = True
 
-        # Update state with the actual outcome.
-        self.direction.update(pc, taken)
         if taken and target is not None:
             self.btb.insert(pc, target)
         if is_call:

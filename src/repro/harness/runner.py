@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core.predictors import PredictorSuiteConfig
-from repro.isa.trace import DynamicTrace
+from repro.isa.plane import EncodedOps
 from repro.lsu.policies import (
     AssociativeStoreSetsPolicy,
     IndexedSQPolicy,
@@ -144,10 +144,15 @@ class RunRecord:
         return self.result.stats.ipc
 
 
-def run_workload(trace: DynamicTrace, config_name: str,
+def run_workload(trace, config_name: str,
                  settings: Optional[ExperimentSettings] = None,
                  predictors: Optional[PredictorSuiteConfig] = None) -> RunRecord:
     """Simulate one trace under one named configuration.
+
+    ``trace`` is an :class:`~repro.isa.plane.EncodedOps` (what
+    :func:`~repro.workloads.suites.build_workload` returns; the core's
+    static-plane fast path) or a :class:`~repro.isa.trace.DynamicTrace` /
+    micro-op sequence (back-compat object path) — bit-identical either way.
 
     With ``settings.sampling`` set the trace is simulated by statistical
     sampling (functional warming + detailed intervals) instead of in full
@@ -166,7 +171,7 @@ def run_workload(trace: DynamicTrace, config_name: str,
 
 
 def build_traces(names: Sequence[str],
-                 settings: Optional[ExperimentSettings] = None) -> Dict[str, DynamicTrace]:
+                 settings: Optional[ExperimentSettings] = None) -> Dict[str, EncodedOps]:
     """Build (once) the traces for the named workloads."""
     settings = settings or ExperimentSettings()
     return {name: build_workload(name, instructions=settings.instructions, seed=settings.seed)

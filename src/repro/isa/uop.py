@@ -86,7 +86,7 @@ VALID_ACCESS_SIZES = (1, 2, 4, 8)
 MAX_ACCESS_SIZE = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemAccess:
     """Memory access descriptor attached to loads and stores.
 
@@ -132,7 +132,7 @@ class MemAccess:
         return self.addr <= other.addr and other.addr + other.size <= self.addr + self.size
 
 
-@dataclass
+@dataclass(slots=True)
 class MicroOp:
     """One dynamic instruction.
 
@@ -204,7 +204,13 @@ class MicroOp:
         return self.mem.size if self.mem is not None else None
 
     def describe(self) -> str:
-        """Human-readable one-line description (used in examples and error text)."""
+        """Human-readable one-line description (used in examples and error text).
+
+        Built lazily, on demand only: nothing on a hot path pays for string
+        formatting — a ``MicroOp`` (itself now a slotted view over the
+        two-plane encoding, see :mod:`repro.isa.plane`) carries no
+        preformatted text.
+        """
         parts = [f"pc={self.pc:#x}", self.op_class.name]
         if self.dest is not None:
             parts.append(f"dest=r{self.dest}")

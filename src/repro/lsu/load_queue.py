@@ -11,11 +11,12 @@ SVW bookkeeping are testable in isolation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadQueueEntry:
     """One in-flight load."""
 
@@ -28,7 +29,7 @@ class LoadQueueEntry:
     forwarded: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadQueueStats:
     """LQ activity counters."""
 
@@ -46,7 +47,7 @@ class LoadQueue:
             raise ValueError("LQ size must be positive")
         self.size = size
         self.stats = LoadQueueStats()
-        self._entries: List[LoadQueueEntry] = []
+        self._entries: Deque[LoadQueueEntry] = deque()
         self._by_seq: Dict[int, LoadQueueEntry] = {}
 
     def __len__(self) -> int:
@@ -93,7 +94,7 @@ class LoadQueue:
         entry = self._entries[0]
         if entry.seq != seq:
             raise ValueError(f"loads must commit in order: head seq {entry.seq}, got {seq}")
-        self._entries.pop(0)
+        self._entries.popleft()
         del self._by_seq[seq]
         self.stats.releases += 1
         return entry

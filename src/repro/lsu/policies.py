@@ -28,7 +28,7 @@ from repro.core.svw import SVWFilter
 from repro.lsu.store_queue import StoreQueue, StoreQueueEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadPrediction:
     """Per-dynamic-load predictions generated at decode/rename.
 
@@ -46,7 +46,13 @@ class LoadPrediction:
     predict_forward: bool = False
 
 
-@dataclass
+#: Shared no-prediction instance (``fwd_ssn == dly_ssn == 0``): most loads
+#: carry no forwarding or delay prediction, and the instance is read-only by
+#: convention (predictions are never mutated after creation).
+_NO_PREDICTION = LoadPrediction()
+
+
+@dataclass(slots=True)
 class ForwardDecision:
     """Outcome of the SQ access performed when a load executes."""
 
@@ -56,7 +62,7 @@ class ForwardDecision:
     from_entry: Optional[StoreQueueEntry] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadCommitInfo:
     """Information available when a load commits (drives training)."""
 
@@ -73,7 +79,7 @@ class LoadCommitInfo:
     violation: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class PolicyStats:
     """Counters common to all policies."""
 
@@ -415,15 +421,34 @@ class IndexedSQPolicy(SQPolicy):
 
     def predict_load(self, load_pc: int, ssn_ren: int, ssn_cmt: int,
                      oracle_dep_ssn: int = 0) -> LoadPrediction:
+        # This is the per-load rename hot path: the FSP set walk and the
+        # chained SAT reads are inlined (identical table, stats, and LRU
+        # sequencing to the fsp.lookup / sat.lookup_partial calls).
         self.stats.loads_predicted += 1
-        entries = self.fsp.lookup(load_pc)
+        fsp = self.fsp
+        fsp.stats.lookups += 1
+        word = load_pc >> 2
+        tag = (word >> fsp._tag_shift) & fsp._tag_mask
+        sat = self.sat
+        sat_table = sat._table
+        sat_mask = sat._index_mask
+        sat_stats = sat.stats
         best_ssn = 0
         best_pc: Optional[int] = None
-        for entry in entries:
-            ssn = self.sat.lookup_partial(entry.store_pc)
-            if ssn > best_ssn:
-                best_ssn = ssn
-                best_pc = entry.store_pc
+        matched = False
+        for entry in fsp._sets[word & fsp._set_mask]:
+            if entry.valid and entry.tag == tag:
+                if not matched:
+                    matched = True
+                    fsp.stats.hits += 1
+                    fsp._lru_clock += 1
+                entry.lru = fsp._lru_clock
+                sat_stats.lookups += 1
+                store_pc = entry.store_pc
+                ssn = sat_table[store_pc & sat_mask]
+                if ssn > best_ssn:
+                    best_ssn = ssn
+                    best_pc = store_pc
         predict_forward = best_ssn > ssn_cmt
         if predict_forward:
             self.stats.loads_predicted_forwarding += 1
@@ -436,6 +461,8 @@ class IndexedSQPolicy(SQPolicy):
             else:
                 dly_ssn = 0
 
+        if best_ssn == 0 and dly_ssn == 0:
+            return _NO_PREDICTION
         return LoadPrediction(fwd_ssn=best_ssn, dly_ssn=dly_ssn,
                               predicted_store_pc=best_pc, predict_forward=predict_forward)
 

@@ -20,13 +20,14 @@ comparison (and ultimately load re-execution) makes that safe.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, List, Optional
 
 from repro.core.ssn import sq_index
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreQueueEntry:
     """One in-flight store."""
 
@@ -59,7 +60,7 @@ class StoreQueueEntry:
         return (self.value >> (8 * offset)) & mask
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreQueueStats:
     """SQ activity counters."""
 
@@ -82,7 +83,7 @@ class StoreQueue:
         self._slots: List[Optional[StoreQueueEntry]] = [None] * size
         # SSN bounds of occupied entries: (oldest_ssn, youngest_ssn], both inclusive
         # via the ordered list below.
-        self._entries: List[StoreQueueEntry] = []   # in age order (oldest first)
+        self._entries: Deque[StoreQueueEntry] = deque()   # in age order (oldest first)
 
     # -- capacity ---------------------------------------------------------------
 
@@ -131,7 +132,7 @@ class StoreQueue:
         entry = self._entries[0]
         if entry.ssn != ssn:
             raise ValueError(f"stores must commit in order: head SSN {entry.ssn}, got {ssn}")
-        self._entries.pop(0)
+        self._entries.popleft()
         slot = sq_index(ssn, self.size)
         if self._slots[slot] is entry:
             self._slots[slot] = None

@@ -42,7 +42,7 @@ class CacheConfig:
         return self.size_bytes // (self.assoc * self.line_bytes)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Access counters for one cache level."""
 
@@ -90,16 +90,25 @@ class Cache:
 
         Misses allocate the line (evicting LRU if the set is full).
         """
-        index, tag = self._index_tag(addr)
-        ways = self._sets.setdefault(index, [])
-        self.stats.accesses += 1
-        if tag in ways:
-            self.stats.hits += 1
-            ways.remove(tag)
-            ways.insert(0, tag)
-            return True
-        self.stats.misses += 1
-        ways.insert(0, tag)
+        line = addr >> self._line_shift
+        sets = self._sets
+        index = line & self._set_mask
+        ways = sets.get(index)
+        if ways is None:
+            ways = sets[index] = []
+        stats = self.stats
+        stats.accesses += 1
+        if ways:
+            if ways[0] == line:         # MRU fast path (most hits land here)
+                stats.hits += 1
+                return True
+            if line in ways:
+                stats.hits += 1
+                ways.remove(line)
+                ways.insert(0, line)
+                return True
+        stats.misses += 1
+        ways.insert(0, line)
         if len(ways) > self.config.assoc:
             ways.pop()
         return False

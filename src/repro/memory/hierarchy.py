@@ -30,7 +30,7 @@ class MemoryHierarchyConfig:
             raise ValueError("memory latency must be at least one cycle")
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Aggregate statistics for the hierarchy."""
 
@@ -62,8 +62,40 @@ class MemoryHierarchy:
 
     def load_latency(self, addr: int) -> int:
         """Latency of a load to ``addr``, updating cache/TLB state."""
-        self.stats.load_accesses += 1
-        return self._access_latency(addr)
+        stats = self.stats
+        stats.load_accesses += 1
+        config = self.config
+        latency = config.l1.latency
+        if config.model_tlb:
+            # Inlined TLB page-cache MRU-hit path (the overwhelmingly common
+            # case); anything else goes through Cache.access.
+            tlb_cache = self.tlb._cache
+            page = addr >> tlb_cache._line_shift
+            ways = tlb_cache._sets.get(page & tlb_cache._set_mask)
+            if ways and ways[0] == page:
+                tlb_stats = tlb_cache.stats
+                tlb_stats.accesses += 1
+                tlb_stats.hits += 1
+            elif not tlb_cache.access(addr):
+                stats.tlb_misses += 1
+                latency += config.tlb.miss_penalty
+        # Inlined L1 MRU-hit path.
+        l1 = self.l1
+        line = addr >> l1._line_shift
+        ways = l1._sets.get(line & l1._set_mask)
+        if ways and ways[0] == line:
+            l1_stats = l1.stats
+            l1_stats.accesses += 1
+            l1_stats.hits += 1
+            return latency
+        if l1.access(addr):
+            return latency
+        stats.l1_misses += 1
+        latency += config.l2.latency
+        if self.l2.access(addr):
+            return latency
+        stats.l2_misses += 1
+        return latency + config.memory_latency
 
     def store_touch(self, addr: int) -> int:
         """Model a store commit touching the hierarchy; returns latency.
@@ -72,24 +104,40 @@ class MemoryHierarchy:
         write buffer), so the returned latency is informational only, but the
         line allocation keeps subsequent loads to the same line warm.
         """
-        self.stats.store_accesses += 1
-        return self._access_latency(addr)
-
-    def _access_latency(self, addr: int) -> int:
-        latency = self.config.l1.latency
-        if self.config.model_tlb:
-            tlb_penalty = self.tlb.access(addr)
-            if tlb_penalty:
-                self.stats.tlb_misses += 1
-                latency += tlb_penalty
-        if self.l1.access(addr):
+        stats = self.stats
+        stats.store_accesses += 1
+        config = self.config
+        latency = config.l1.latency
+        if config.model_tlb:
+            # Inlined TLB page-cache MRU-hit path (the overwhelmingly common
+            # case); anything else goes through Cache.access.
+            tlb_cache = self.tlb._cache
+            page = addr >> tlb_cache._line_shift
+            ways = tlb_cache._sets.get(page & tlb_cache._set_mask)
+            if ways and ways[0] == page:
+                tlb_stats = tlb_cache.stats
+                tlb_stats.accesses += 1
+                tlb_stats.hits += 1
+            elif not tlb_cache.access(addr):
+                stats.tlb_misses += 1
+                latency += config.tlb.miss_penalty
+        # Inlined L1 MRU-hit path.
+        l1 = self.l1
+        line = addr >> l1._line_shift
+        ways = l1._sets.get(line & l1._set_mask)
+        if ways and ways[0] == line:
+            l1_stats = l1.stats
+            l1_stats.accesses += 1
+            l1_stats.hits += 1
             return latency
-        self.stats.l1_misses += 1
-        latency += self.config.l2.latency
+        if l1.access(addr):
+            return latency
+        stats.l1_misses += 1
+        latency += config.l2.latency
         if self.l2.access(addr):
             return latency
-        self.stats.l2_misses += 1
-        return latency + self.config.memory_latency
+        stats.l2_misses += 1
+        return latency + config.memory_latency
 
     def warm(self, addr: int) -> None:
         """Pre-install the line holding ``addr`` into L1 and L2 (warm-up)."""

@@ -29,10 +29,20 @@ def _background_byte(addr: int) -> int:
 
 
 class MemoryImage:
-    """Sparse byte-addressable memory."""
+    """Sparse byte-addressable memory.
+
+    ``_bytes`` is the architectural state (explicitly written bytes only).
+    ``_view`` overlays it with memoised background bytes — every byte ever
+    read or written, so the hot read loop pays one dictionary probe per
+    byte.  The overlay is pure derived data: excluded from pickles and
+    :meth:`state_signature`, rebuilt lazily, and kept write-through
+    consistent with ``_bytes``.
+    """
 
     def __init__(self) -> None:
         self._bytes: Dict[int, int] = {}
+        self._view: Dict[int, int] = {}
+        self._r8: Dict[int, int] = {}
 
     def write(self, addr: int, size: int, value: int) -> None:
         """Write ``size`` bytes of ``value`` (little-endian) at ``addr``."""
@@ -40,19 +50,41 @@ class MemoryImage:
             raise ValueError("write size must be positive")
         if value < 0:
             raise ValueError("write value must be non-negative")
-        for i in range(size):
-            self._bytes[addr + i] = (value >> (8 * i)) & 0xFF
+        # Invalidate memoised 8-byte reads whose window overlaps the write.
+        r8 = self._r8
+        if r8:
+            r8_pop = r8.pop
+            for a in range(addr - 7, addr + size):
+                r8_pop(a, None)
+        data = self._bytes
+        view = self._view
+        for _ in range(size):
+            data[addr] = view[addr] = value & 0xFF
+            value >>= 8
+            addr += 1
 
     def read(self, addr: int, size: int) -> int:
         """Read ``size`` bytes (little-endian) at ``addr``."""
-        if size <= 0:
+        if size == 8:
+            # Memoised whole-word fast path: loads are overwhelmingly 8-byte
+            # re-reads of the same addresses (execute + commit re-read).
+            value = self._r8.get(addr)
+            if value is not None:
+                return value
+        elif size <= 0:
             raise ValueError("read size must be positive")
+        view = self._view
+        view_get = view.get
         value = 0
-        for i in range(size):
-            byte = self._bytes.get(addr + i)
+        shift = 0
+        for a in range(addr, addr + size):
+            byte = view_get(a)
             if byte is None:
-                byte = _background_byte(addr + i)
-            value |= byte << (8 * i)
+                byte = view[a] = _background_byte(a)
+            value |= byte << shift
+            shift += 8
+        if size == 8:
+            self._r8[addr] = value
         return value
 
     def read_byte(self, addr: int) -> int:
@@ -74,11 +106,26 @@ class MemoryImage:
         """Deep copy of the image (used by the functional trace checker)."""
         clone = MemoryImage()
         clone._bytes = dict(self._bytes)
+        clone._view = dict(self._bytes)
+        clone._r8 = {}
         return clone
 
     def clear(self) -> None:
         """Discard all written bytes."""
         self._bytes.clear()
+        self._view.clear()
+        self._r8.clear()
+
+    def __getstate__(self) -> dict:
+        # The overlay is derived data; keeping it out of pickles keeps
+        # checkpoint-store snapshots lean and content-stable.
+        return {"_bytes": self._bytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self._bytes = state["_bytes"]
+        # Written bytes seed the overlay; background bytes rememoise lazily.
+        self._view = dict(self._bytes)
+        self._r8 = {}
 
     def state_signature(self) -> tuple:
         """Hashable snapshot of every explicitly written byte."""

@@ -8,11 +8,11 @@ re-execution rate) used by tests and the EXPERIMENTS.md narrative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Counters accumulated over one simulation run."""
 
@@ -93,8 +93,8 @@ class SimStats:
     def as_dict(self) -> Dict[str, float]:
         """Flatten counters and derived metrics for reporting."""
         result: Dict[str, float] = {}
-        for name, value in self.__dict__.items():
-            result[name] = value
+        for stats_field in fields(self):
+            result[stats_field.name] = getattr(self, stats_field.name)
         result.update({
             "ipc": self.ipc,
             "forwarding_rate": self.forwarding_rate,

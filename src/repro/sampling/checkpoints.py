@@ -28,9 +28,12 @@ Storage layout (one pickle per entry, exactly like the result cache):
 * **trace windows** — the same store memoises each interval's composed
   detailed-window micro-ops (written during the generation pass, tiny next
   to the segments they straddle), so checkpointed interval jobs stop
-  re-emitting trace content entirely; whole 16384-uop segments can also be
-  memoised by explicit opt-in (``build_workload_window(...,
-  disk_memo=True)`` in :mod:`repro.workloads.suites`).
+  re-emitting trace content entirely.  Windows and segments are stored in
+  encoded two-plane form (:class:`~repro.isa.plane.EncodedOps`, schema v2):
+  flat arrays that unpickle far cheaper than they recompose, which is what
+  lets sharded generation share whole composed chunks through the segment
+  memo (``build_workload_window(..., disk_memo=True)`` in
+  :mod:`repro.workloads.suites`).
 
 Keys cover the trace identity, the sampling plan, the core configuration,
 and SHA-256 fingerprints of the workload-generator and simulator sources —
@@ -95,7 +98,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.runner import ExperimentSettings
 
 #: Bumped when the snapshot payload layout changes incompatibly.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: trace windows and segments are stored in encoded two-plane form
+#: (:class:`~repro.isa.plane.EncodedOps`) instead of micro-op object lists.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 #: Default store directory (relative to the current working directory).
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
@@ -477,12 +482,6 @@ def run_checkpoint_job(request: CheckpointJobSpec) -> int:
 
 # ----------------------------------------------------------------- sharding --
 
-#: Trace segments a shard worker precomposes while its boundary handoff is
-#: still in flight (bounded well below the per-process segment-cache
-#: capacity so nothing precomposed is evicted before the warm loop reads
-#: it); chunks longer than this compose their tail during the warm.
-_PRECOMPOSE_SEGMENTS = 10
-
 #: How long a chunk job waits for its stitch handoff before falling back to
 #: an exact in-process prefix recompute.  Generous: the chain ahead of it is
 #: replaying real trace prefixes, and a premature fallback costs O(prefix).
@@ -516,6 +515,13 @@ class ShardJobSpec:
     last: bool
     boundaries: Tuple[int, ...]
     directory: str
+    #: Read/write composed segments through the on-disk segment memo.  Set
+    #: by the planner whenever the generation grid has more than one job
+    #: (several chains re-read the same segments, and compose-ahead workers
+    #: share what they precompose); a lone single-pass job composes in
+    #: memory only, so it cannot flood the store with segments nothing
+    #: re-reads.
+    disk_memo: bool = False
 
 
 def plan_shard_jobs(store: CheckpointStore,
@@ -577,6 +583,7 @@ def plan_shard_jobs(store: CheckpointStore,
         max_chunks = max(max_chunks, chunks)
         per_chain.append((bounds, (request, identities, write_shared)))
 
+    total_jobs = sum(len(bounds) - 1 for bounds, _chain in per_chain)
     jobs: List[ShardJobSpec] = []
     for chunk_index in range(max_chunks):
         for bounds, (request, identities, write_shared) in per_chain:
@@ -590,7 +597,8 @@ def plan_shard_jobs(store: CheckpointStore,
                 chunk_end=bounds[chunk_index + 1],
                 last=chunk_index == len(bounds) - 2,
                 boundaries=tuple(bounds[:-1]),
-                directory=directory))
+                directory=directory,
+                disk_memo=total_jobs > 1))
     return jobs, {
         "checkpoint_chains": len(chains),
         "checkpoint_shards": max_chunks,
@@ -630,9 +638,15 @@ def _await_boundary(spec: ShardJobSpec,
     """Wait for this chunk's handoff, precomposing the chunk meanwhile.
 
     Trace composition is state-independent, so the wait is productive: the
-    worker seeds its per-process segment memo with the segments its warm
-    loop is about to read, which takes composition — the largest share of
-    the pass — off the sequential stitch chain.
+    worker composes the segments its warm loop is about to read, which
+    takes composition — the largest share of the pass — off the sequential
+    stitch chain.  Precomposition covers the *whole* chunk and writes
+    through the on-disk segment memo (``disk_memo=True``): segments are
+    encoded two-plane streams that unpickle far cheaper than they
+    recompose, so a segment evicted from the small per-process memo — or
+    needed by another chain's worker — is reloaded, not recomposed.  (The
+    old object-list encoding pickled *slower* than recomposition, which
+    capped compose-ahead at ~10 in-memory segments per chunk.)
     """
     from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
 
@@ -640,20 +654,18 @@ def _await_boundary(spec: ShardJobSpec,
     segment = TRACE_SEGMENT_UOPS
     next_segment = spec.chunk_start // segment
     last_segment = max(spec.chunk_end - 1, spec.chunk_start) // segment
-    budget = _PRECOMPOSE_SEGMENTS
     deadline = time.monotonic() + _BOUNDARY_WAIT_SECONDS
     while True:
         boundary = _load_boundary(spec, store, spec.chunk_start)
         if boundary is not None:
             return boundary
-        if budget > 0 and next_segment <= last_segment:
+        if next_segment <= last_segment:
             lo = next_segment * segment
             hi = min(lo + segment, settings.instructions)
             if hi > lo:
                 build_workload_window(spec.workload, settings.instructions,
-                                      settings.seed, lo, hi, disk_memo=False)
+                                      settings.seed, lo, hi, disk_memo=True)
             next_segment += 1
-            budget -= 1
             continue
         if time.monotonic() > deadline:
             return None
@@ -662,8 +674,13 @@ def _await_boundary(spec: ShardJobSpec,
 
 def _advance(warmer: FunctionalWarmer, spec: ShardJobSpec, position: int,
              target: int) -> int:
-    """Warm ``[position, target)`` segment-aligned (the disk segment memo is
-    bypassed exactly as in the original single pass)."""
+    """Warm ``[position, target)`` segment-aligned.
+
+    ``spec.disk_memo`` routes segment composition through the encoded
+    on-disk segment memo on sharded grids (chains share composed segments;
+    the compose-ahead of waiting workers is consumed here); a lone
+    single-pass job composes in memory, as the original single pass did.
+    """
     from repro.workloads.suites import TRACE_SEGMENT_UOPS, build_workload_window
 
     settings = spec.settings
@@ -672,7 +689,7 @@ def _advance(warmer: FunctionalWarmer, spec: ShardJobSpec, position: int,
                    (position // TRACE_SEGMENT_UOPS + 1) * TRACE_SEGMENT_UOPS)
         warmer.warm(build_workload_window(
             spec.workload, settings.instructions, settings.seed,
-            position, step, disk_memo=False))
+            position, step, disk_memo=spec.disk_memo))
         position = step
     return position
 

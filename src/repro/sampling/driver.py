@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
 from repro.exec.jobs import IntervalJobSpec, JobSpec
+from repro.isa.plane import EncodedOps
 from repro.isa.trace import DynamicTrace
 from repro.isa.uop import MicroOp
 from repro.pipeline.core import OutOfOrderCore
@@ -86,8 +87,10 @@ def _simulate_window(uops: Sequence[MicroOp], window: IntervalWindow,
     """Detailed warm-up + measured region over an already warmed machine.
 
     ``uops`` covers ``[window.detailed_start, window.measure_end)`` plus up
-    to :func:`_overrun` trailing instructions; ``state`` is the warmed
-    machine state at ``window.detailed_start`` (``None`` = cold start).
+    to :func:`_overrun` trailing instructions (encoded on the hot paths; a
+    plain micro-op sequence takes the core's object path, bit-identically);
+    ``state`` is the warmed machine state at ``window.detailed_start``
+    (``None`` = cold start).
     """
     from repro.harness.runner import RunRecord, make_policy
 
@@ -99,7 +102,10 @@ def _simulate_window(uops: Sequence[MicroOp], window: IntervalWindow,
         core = OutOfOrderCore(config, make_policy(config_name,
                                                   sq_size=settings.sq_size,
                                                   predictors=predictors))
-    trace = DynamicTrace(name=workload, uops=list(uops))
+    if isinstance(uops, EncodedOps):
+        trace = uops.with_name(workload)
+    else:
+        trace = DynamicTrace(name=workload, uops=list(uops))
     result = core.run(
         trace, warm_memory=False,
         stats_warmup_instructions=window.measure_start - window.detailed_start,
@@ -300,18 +306,18 @@ def run_sampled_trace(trace: DynamicTrace, config_name: str,
                                        predictors=predictors))
         position = 0
         for window in windows:
-            warmer.warm(trace.uops[position:window.detailed_start])
+            warmer.warm(trace[position:window.detailed_start])
             position = window.detailed_start
             # Pickle round trip = the frozen-copy semantics of the store.
             state = pickle.loads(pickle.dumps(warmer.state))
             stop = min(total, window.measure_end + _overrun(settings.core))
             records.append(_simulate_window(
-                trace.uops[window.detailed_start:stop], window, trace.name,
+                trace[window.detailed_start:stop], window, trace.name,
                 config_name, settings, predictors, state))
     else:
         for window in windows:
             stop = min(total, window.measure_end + _overrun(settings.core))
-            uops = trace.uops[window.functional_start:stop]
+            uops = trace[window.functional_start:stop]
             records.append(_run_interval(uops, window, trace.name, config_name,
                                          settings, predictors))
     if total != settings.instructions:

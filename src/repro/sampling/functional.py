@@ -32,6 +32,12 @@ short detailed warm-up (:class:`~repro.sampling.plan.SamplingPlan`'s *W*)
 lets the short-lived state (window occupancy, in-flight dependences, DDP
 counters) settle before measurement begins.
 
+**Encoded input** (PR 5): the warm loop consumes two-plane encoded streams
+(:class:`~repro.isa.plane.EncodedOps`) natively — static fields come from
+the shared plane's arrays, dynamic fields from the stream — and encodes
+plain micro-op sequences on entry, so there is exactly one warming fold
+whatever the input form.
+
 **Multi-policy warming** (PR 3): everything above except the policy tables is
 configuration-independent, so one replay pass can warm several store-queue
 policies at once — the branch predictor, caches, memory image, SSN counters,
@@ -46,9 +52,10 @@ sequence is identical to the original single-policy warmer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.frontend.branch_predictor import BranchUnit
+from repro.isa.plane import KIND_BRANCH, KIND_LOAD, KIND_STORE, EncodedOps, encode_uops
 from repro.isa.uop import MicroOp
 from repro.lsu.policies import SQPolicy
 from repro.memory.hierarchy import MemoryHierarchy
@@ -138,14 +145,21 @@ class FunctionalWarmer:
 
     # ------------------------------------------------------------------ warm --
 
-    def warm(self, uops: Sequence[MicroOp]) -> None:
+    def warm(self, uops: Union[EncodedOps, Sequence[MicroOp]]) -> None:
         """Functionally retire ``uops`` in order.
 
         Shared structures (caches, branch tables, memory image, SSN
         counters, last-writer map) are updated once per micro-op; every
         policy's warming hooks run against that shared state, with the
         would-forward window computed per policy (SQ sizes may differ).
+
+        ``uops`` is an :class:`~repro.isa.plane.EncodedOps` stream on the
+        hot paths (interval jobs, checkpoint generation); a plain micro-op
+        sequence (custom traces) is encoded on entry, so there is exactly
+        one warming fold and the two input forms cannot drift.
         """
+        if not isinstance(uops, EncodedOps):
+            uops = encode_uops(uops)
         state = self.state
         branch_resolve = state.branch_unit.predict_and_resolve
         hierarchy = state.hierarchy
@@ -155,53 +169,66 @@ class FunctionalWarmer:
         commit_hooks = [p.store_committed for p in self._policies]
         warm_loads = [(p.warm_load, p.sq_size) for p in self._policies]
         last_writer = state.last_writer
+        last_writer_get = last_writer.get
         window_span = self.config.rob_size
         index = self._index
 
-        for uop in uops:
-            if uop.mem is not None:
-                mem = uop.mem
-                addr = mem.addr
-                size = mem.size
-                if uop.is_load:
-                    hierarchy.load_latency(addr)
-                    best = None
-                    best_ssn = 0
-                    for byte_addr in range(addr, addr + size):
-                        entry = last_writer.get(byte_addr)
-                        if entry is not None and entry[0] > best_ssn:
-                            best_ssn = entry[0]
-                            best = entry
-                    ssn_cmt = ssn_alloc.ssn_commit
-                    if best is not None:
-                        in_window = index - best[2] < window_span
-                        for warm_load, sq_size in warm_loads:
-                            would_forward = (in_window
-                                             and ssn_cmt - best_ssn < sq_size)
-                            warm_load(uop.pc, addr, size, best_ssn, best[1],
-                                      would_forward, ssn_cmt)
-                    else:
-                        for warm_load, _sq_size in warm_loads:
-                            warm_load(uop.pc, addr, size, 0, 0, False, ssn_cmt)
-                else:  # store
-                    ssn = ssn_alloc.allocate()
-                    for warm_store_renamed in warm_stores:
-                        warm_store_renamed(uop.pc, ssn)
-                    memory_write(addr, size, mem.value)
-                    ssn_alloc.commit(ssn)
-                    for store_committed in commit_hooks:
-                        store_committed(uop.pc, ssn, addr, size)
-                    hierarchy.store_touch(addr)
-                    entry = (ssn, uop.pc, index)
-                    for byte_addr in range(addr, addr + size):
-                        last_writer[byte_addr] = entry
-            elif uop.is_branch:
-                branch_resolve(uop.pc, uop.is_taken, uop.target,
-                               uop.hint_call, uop.hint_return)
+        plane = uops.plane
+        kind_arr = plane.kind
+        pc_arr = plane.pc
+        sidx = uops.sidx
+        addr_arr = uops.addr
+        size_arr = uops.size
+
+        for i, si in enumerate(sidx):
+            kind = kind_arr[si]
+            if kind == KIND_LOAD:
+                pc = pc_arr[si]
+                addr = addr_arr[i]
+                size = size_arr[i]
+                hierarchy.load_latency(addr)
+                best = None
+                best_ssn = 0
+                for byte_addr in range(addr, addr + size):
+                    entry = last_writer_get(byte_addr)
+                    if entry is not None and entry[0] > best_ssn:
+                        best_ssn = entry[0]
+                        best = entry
+                ssn_cmt = ssn_alloc.ssn_commit
+                if best is not None:
+                    in_window = index - best[2] < window_span
+                    for warm_load, sq_size in warm_loads:
+                        would_forward = (in_window
+                                         and ssn_cmt - best_ssn < sq_size)
+                        warm_load(pc, addr, size, best_ssn, best[1],
+                                  would_forward, ssn_cmt)
+                else:
+                    for warm_load, _sq_size in warm_loads:
+                        warm_load(pc, addr, size, 0, 0, False, ssn_cmt)
+            elif kind == KIND_STORE:
+                pc = pc_arr[si]
+                addr = addr_arr[i]
+                size = size_arr[i]
+                ssn = ssn_alloc.allocate()
+                for warm_store_renamed in warm_stores:
+                    warm_store_renamed(pc, ssn)
+                memory_write(addr, size, uops.value[i])
+                ssn_alloc.commit(ssn)
+                for store_committed in commit_hooks:
+                    store_committed(pc, ssn, addr, size)
+                hierarchy.store_touch(addr)
+                entry = (ssn, pc, index)
+                for byte_addr in range(addr, addr + size):
+                    last_writer[byte_addr] = entry
+            elif kind == KIND_BRANCH:
+                target = uops.target[i]
+                branch_resolve(pc_arr[si], uops.taken[i],
+                               target if target >= 0 else None,
+                               plane.hint_call[si], plane.hint_return[si])
             index += 1
 
         self._index = index
-        state.instructions_warmed += len(uops)
+        state.instructions_warmed += len(sidx)
 
     # ---------------------------------------------------------------- export --
 

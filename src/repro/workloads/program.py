@@ -4,8 +4,18 @@ A :class:`ProgramBuilder` manages the resources a synthetic program needs —
 stable static PCs (so the PC-indexed predictors see the same static
 instruction across dynamic instances), architectural registers, disjoint
 memory regions, and deterministic pseudo-random values — and provides typed
-emit helpers that append :class:`~repro.isa.uop.MicroOp` records to the
-trace being built.
+emit helpers that append micro-ops to the trace being built.
+
+Emission is **two-plane** (see :mod:`repro.isa.plane`): each emit helper
+interns the instruction's static descriptor into the program's shared
+:class:`~repro.isa.plane.StaticProgramPlane` (a per-process cache keyed by
+program name, :func:`plane_for`) and appends only the dynamic fields to the
+:class:`~repro.isa.plane.EncodedOps` under construction — no per-uop object
+is ever built on this path.  :meth:`ProgramBuilder.finish` returns the
+encoded stream, which supports the old :class:`~repro.isa.trace.DynamicTrace`
+reading surface (``len``, iteration/indexing as
+:class:`~repro.isa.uop.MicroOp` views, ``.stats``, ``.uops``), so kernels,
+tests, and examples are unchanged.
 
 A :class:`Kernel` is a small static code fragment: it allocates its PCs,
 registers, and memory regions once at construction and then emits one loop
@@ -17,11 +27,11 @@ approximate a target benchmark profile.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.isa.plane import EncodedOps, StaticProgramPlane
 from repro.isa.registers import FP_REG_COUNT, INT_REG_COUNT, REG_ZERO
-from repro.isa.trace import DynamicTrace
-from repro.isa.uop import MemAccess, MicroOp, OpClass
+from repro.isa.uop import VALID_ACCESS_SIZES, OpClass
 
 #: Base of the synthetic code segment; static PCs are allocated upward from here.
 CODE_BASE = 0x0040_0000
@@ -32,14 +42,34 @@ DATA_BASE = 0x1000_0000
 #: Region alignment (keeps independently allocated regions on distinct cache lines).
 REGION_ALIGN = 64
 
+#: Per-process static-plane cache: program name -> plane.  Segments of one
+#: workload are composed against the same deterministic static program
+#: (static PCs/registers/regions are allocated identically however the
+#: dynamic mix lands), so one plane per workload name is shared by every
+#: segment, interval, and configuration simulated in this process.  Planes
+#: are append-only — a cached plane is never invalidated, only grown; the
+#: cache itself is process-private and rebuilt lazily, and encoded segments
+#: that cross process boundaries re-intern on arrival
+#: (:meth:`~repro.isa.plane.EncodedOps.rebase`).
+_PLANE_REGISTRY: Dict[str, StaticProgramPlane] = {}
+
+
+def plane_for(name: str) -> StaticProgramPlane:
+    """The process-wide static plane of the named program."""
+    plane = _PLANE_REGISTRY.get(name)
+    if plane is None:
+        plane = StaticProgramPlane()
+        _PLANE_REGISTRY[name] = plane
+    return plane
+
 
 class ProgramBuilder:
-    """Builds one synthetic program / dynamic trace."""
+    """Builds one synthetic program / dynamic trace (encoded form)."""
 
     def __init__(self, name: str, seed: int = 1) -> None:
         self.name = name
         self.rng = random.Random(seed)
-        self.uops: List[MicroOp] = []
+        self.ops = EncodedOps(plane_for(name), name=name)
         self._next_pc = CODE_BASE
         self._next_data = DATA_BASE
         self._next_int_reg = 1          # r0 reserved as a generic source
@@ -93,49 +123,62 @@ class ProgramBuilder:
         return self.rng.getrandbits(8 * size)
 
     # -- emit helpers -----------------------------------------------------------
+    #
+    # Each helper interns the static descriptor (validated once per static
+    # instruction) and appends the dynamic fields.  Dynamic validation keeps
+    # the old MicroOp construction-time guarantees for generator bugs.
 
     def load(self, pc: int, dest: int, addr: int, size: int = 8,
-             srcs: Sequence[int] = ()) -> MicroOp:
-        uop = MicroOp(pc=pc, op_class=OpClass.LOAD, dest=dest, srcs=tuple(srcs),
-                      mem=MemAccess(addr=addr, size=size))
-        self.uops.append(uop)
-        return uop
+             srcs: Sequence[int] = ()) -> None:
+        if size not in VALID_ACCESS_SIZES:
+            raise ValueError(f"invalid access size {size}; "
+                             f"expected one of {VALID_ACCESS_SIZES}")
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        ops = self.ops
+        si = ops.plane.intern_cached(pc, OpClass.LOAD, dest, tuple(srcs))
+        ops.append(si, addr, size)
 
     def store(self, pc: int, addr: int, value: int, size: int = 8,
-              srcs: Sequence[int] = ()) -> MicroOp:
-        uop = MicroOp(pc=pc, op_class=OpClass.STORE, srcs=tuple(srcs),
-                      mem=MemAccess(addr=addr, size=size, value=value))
-        self.uops.append(uop)
-        return uop
+              srcs: Sequence[int] = ()) -> None:
+        if size not in VALID_ACCESS_SIZES:
+            raise ValueError(f"invalid access size {size}; "
+                             f"expected one of {VALID_ACCESS_SIZES}")
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        if not 0 <= value < (1 << (8 * size)):
+            raise ValueError(f"store value {value:#x} does not fit in {size} bytes")
+        ops = self.ops
+        si = ops.plane.intern_cached(pc, OpClass.STORE, None, tuple(srcs))
+        ops.append(si, addr, size, value)
 
     def alu(self, pc: int, dest: int, srcs: Sequence[int] = (),
-            op_class: OpClass = OpClass.INT_ALU) -> MicroOp:
-        uop = MicroOp(pc=pc, op_class=op_class, dest=dest, srcs=tuple(srcs))
-        self.uops.append(uop)
-        return uop
+            op_class: OpClass = OpClass.INT_ALU) -> None:
+        ops = self.ops
+        si = ops.plane.intern_cached(pc, op_class, dest, tuple(srcs))
+        ops.append(si)
 
     def branch(self, pc: int, taken: bool, target: Optional[int] = None,
-               srcs: Sequence[int] = (), call: bool = False, ret: bool = False) -> MicroOp:
+               srcs: Sequence[int] = (), call: bool = False, ret: bool = False) -> None:
         if taken and target is None:
             target = pc + 64
-        uop = MicroOp(pc=pc, op_class=OpClass.BRANCH, srcs=tuple(srcs),
-                      is_taken=taken, target=target, hint_call=call, hint_return=ret)
-        self.uops.append(uop)
-        return uop
+        ops = self.ops
+        si = ops.plane.intern_cached(pc, OpClass.BRANCH, None, tuple(srcs), call, ret)
+        ops.append(si, taken=taken, target=target if target is not None else -1)
 
-    def nop(self, pc: int) -> MicroOp:
-        uop = MicroOp(pc=pc, op_class=OpClass.NOP)
-        self.uops.append(uop)
-        return uop
+    def nop(self, pc: int) -> None:
+        ops = self.ops
+        si = ops.plane.intern_cached(pc, OpClass.NOP, None, ())
+        ops.append(si)
 
     # -- finishing --------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.uops)
+        return len(self.ops)
 
-    def finish(self) -> DynamicTrace:
-        """Materialise the trace built so far."""
-        return DynamicTrace(name=self.name, uops=self.uops)
+    def finish(self) -> EncodedOps:
+        """The encoded trace built so far (shared arrays, not a copy)."""
+        return self.ops
 
 
 class Kernel:

@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.isa.trace import DynamicTrace
+from repro.isa.plane import EncodedOps
 from repro.workloads.kernels import (
     AccumulateKernel,
     BranchyKernel,
@@ -172,7 +172,7 @@ class WorkloadComposer:
         choice = self._rng.choices(pool, weights=weights, k=1)[0]
         return choice.kernel
 
-    def compose(self, instructions: int) -> DynamicTrace:
+    def compose(self, instructions: int) -> EncodedOps:
         """Emit kernel iterations until at least ``instructions`` micro-ops."""
         if instructions <= 0:
             raise ValueError("instruction budget must be positive")
@@ -184,9 +184,7 @@ class WorkloadComposer:
                 self._pick(self._background_pool).emit()
             if profile.branchy > 0.0 and self._rng.random() < profile.branchy:
                 self._branchy.emit()
-        trace = self.builder.finish()
-        trace.uops = trace.uops[:instructions]
-        return trace
+        return self.builder.finish().truncated(instructions)
 
 
 # ---------------------------------------------------------------------------
@@ -201,10 +199,11 @@ def _segment_seed(seed: int, index: int) -> int:
     return (seed ^ (0x9E3779B97F4A7C15 * index)) & 0x7FFF_FFFF_FFFF_FFFF
 
 
-#: Per-process segment memo: (name, seed, segment index, length) -> uops.
-#: Sampling jobs for the same workload (across configurations) re-touch the
-#: same segments; memoising them keeps window regeneration cheap.
-_SEGMENT_CACHE: Dict[Tuple[str, int, int, int], List] = {}
+#: Per-process segment memo: (name, seed, segment index, length) ->
+#: :class:`~repro.isa.plane.EncodedOps`.  Sampling jobs for the same
+#: workload (across configurations) re-touch the same segments; memoising
+#: them keeps window regeneration cheap.
+_SEGMENT_CACHE: Dict[Tuple[str, int, int, int], EncodedOps] = {}
 _SEGMENT_CACHE_LIMIT = 12
 
 
@@ -224,10 +223,18 @@ def _segment_disk_store():
 
 
 def _compose_segment(name: str, seed: int, index: int, length: int,
-                     disk_memo: bool = False) -> List:
+                     disk_memo: bool = False) -> EncodedOps:
     """Compose (and memoise) segment ``index`` of a workload, truncated to
     ``length`` micro-ops (composition is prefix-stable, so a shorter final
-    segment equals the prefix of the full segment)."""
+    segment equals the prefix of the full segment).
+
+    Segments are encoded (:class:`~repro.isa.plane.EncodedOps`): the static
+    plane is shared process-wide per workload, and a segment unpickled from
+    the disk memo is re-interned onto that shared plane so every cached
+    segment concatenates without remapping.
+    """
+    from repro.workloads.program import plane_for
+
     key = (name, seed, index, length)
     uops = _SEGMENT_CACHE.get(key)
     if uops is None:
@@ -238,10 +245,12 @@ def _compose_segment(name: str, seed: int, index: int, length: int,
 
             disk_key = segment_key(name, seed, index, length)
             uops = store.get(disk_key)
+            if uops is not None:
+                uops = uops.rebase(plane_for(name))
         if uops is None:
             profile = get_profile(name)
             composer = WorkloadComposer(profile, seed=_segment_seed(seed, index))
-            uops = composer.compose(length).uops
+            uops = composer.compose(length)
             if store is not None:
                 store.put(disk_key, uops)
         while len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_LIMIT:
@@ -252,31 +261,37 @@ def _compose_segment(name: str, seed: int, index: int, length: int,
 
 def build_workload_window(name: str, instructions: int, seed: int,
                           start: int, stop: int,
-                          disk_memo: bool = False) -> List:
+                          disk_memo: bool = False) -> EncodedOps:
     """Micro-ops ``[start, stop)`` of the workload's trace, composing only
     the segments that overlap the window.
 
-    Equivalent to ``build_workload(name, instructions, seed).uops[start:stop]``
+    Equivalent to ``build_workload(name, instructions, seed)[start:stop]``
     but with cost proportional to the window's segment span rather than to
     ``instructions``; this is what lets interval-sampling jobs regenerate
-    their slice of a 10M-instruction trace without materialising it.
+    their slice of a 10M-instruction trace without materialising it.  The
+    window is returned in encoded form (:class:`~repro.isa.plane.EncodedOps`
+    over the workload's shared static plane); callers must not mutate it —
+    a window covered by exactly one whole segment aliases the per-process
+    segment memo.
 
     ``disk_memo=True`` additionally memoises the touched segments in the
     checkpoint store (when ``REPRO_CHECKPOINTS`` enables it) — an explicit
     opt-in for callers that re-read the same segments across processes or
-    runs.  It stays off by default: a library call must not write stores
-    into the caller's working directory as a side effect, streaming
-    single-pass consumers (checkpoint generation, full-trace builds) would
-    flood the store with segments nothing re-reads, and one-shot windows
-    cost more to write through than the memo can repay — checkpointed
-    interval jobs use the store's per-interval *window* memo instead
+    runs (checkpoint generation's stitched chunk jobs and their
+    compose-ahead; encoded segments unpickle cheaper than they recompose).
+    It stays off by default: a library call must not write stores into the
+    caller's working directory as a side effect, and one-shot windows cost
+    more to write through than the memo can repay — checkpointed interval
+    jobs use the store's per-interval *window* memo instead
     (:func:`repro.sampling.checkpoints.window_key`), which is what removed
     the window-regeneration hot loop.
     """
+    from repro.workloads.program import plane_for
+
     if not 0 <= start <= stop <= instructions:
         raise ValueError(f"window [{start}, {stop}) outside trace [0, {instructions})")
     segment = TRACE_SEGMENT_UOPS
-    uops: List = []
+    window: Optional[EncodedOps] = None
     for index in range(start // segment, (max(stop - 1, start)) // segment + 1):
         seg_base = index * segment
         seg_len = min(segment, instructions - seg_base)
@@ -286,9 +301,18 @@ def build_workload_window(name: str, instructions: int, seed: int,
                                     disk_memo=disk_memo)
         lo = max(start - seg_base, 0)
         hi = min(stop - seg_base, seg_len)
-        if hi > lo:
-            uops.extend(seg_uops[lo:hi] if (lo, hi) != (0, seg_len) else seg_uops)
-    return uops
+        if hi <= lo:
+            continue
+        if window is None and (lo, hi) == (0, seg_len) and stop <= seg_base + seg_len:
+            # Whole-segment single-span window: alias the memoised segment.
+            return seg_uops
+        if window is None:
+            window = EncodedOps(plane_for(name), name=name)
+        window.extend(seg_uops if (lo, hi) == (0, seg_len)
+                      else seg_uops.slice(lo, hi))
+    if window is None:
+        window = EncodedOps(plane_for(name), name=name)
+    return window
 
 
 # ---------------------------------------------------------------------------
@@ -308,26 +332,28 @@ def sensitivity_workloads() -> List[str]:
 
 
 def build_workload(name: str, instructions: int = DEFAULT_INSTRUCTIONS,
-                   seed: int = 1) -> DynamicTrace:
-    """Build the proxy trace for one named benchmark.
+                   seed: int = 1) -> EncodedOps:
+    """Build the proxy trace for one named benchmark (encoded form).
 
     The trace is the concatenation of its ``TRACE_SEGMENT_UOPS``-long
     segments (see the module docstring); traces that fit in one segment are
-    bit-identical to a direct single compose.
+    bit-identical to a direct single compose.  The returned
+    :class:`~repro.isa.plane.EncodedOps` supports the old
+    :class:`~repro.isa.trace.DynamicTrace` reading surface (``len``,
+    iteration/indexing as micro-op views, ``.stats``, ``.uops``) and is what
+    the detailed core's static-plane fast path consumes directly.
     """
     if instructions <= 0:
         raise ValueError("instruction budget must be positive")
     # Full-trace materialisation streams every segment exactly once; bypass
     # the disk segment memo so full-detail runs don't flood the checkpoint
     # store with segments only sampling windows ever re-read.
-    return DynamicTrace(
-        name=name,
-        uops=build_workload_window(name, instructions, seed, 0, instructions,
-                                   disk_memo=False))
+    return build_workload_window(name, instructions, seed, 0, instructions,
+                                 disk_memo=False).with_name(name)
 
 
 def build_suite(suite: str, instructions: int = DEFAULT_INSTRUCTIONS,
-                seed: int = 1) -> Dict[str, DynamicTrace]:
+                seed: int = 1) -> Dict[str, EncodedOps]:
     """Build every workload in a suite; returns name -> trace."""
     return {name: build_workload(name, instructions=instructions, seed=seed)
             for name in workload_names(suite)}

@@ -1,0 +1,108 @@
+"""Golden bit-identity regression for the detailed hot path.
+
+``tests/golden/hotpath_golden.json`` pins the *exact* merged counter
+dictionaries of fixed-seed full-detail and sampled runs, frozen from the
+pre-two-plane (PR 4) simulator.  This and future hot-path refactors diff
+against those frozen numbers — not merely against themselves — so a
+representation change that silently shifts any statistic fails here even if
+it is internally self-consistent.
+
+The same runs are additionally executed through the back-compat *object
+path* (materialised :class:`~repro.isa.uop.MicroOp` views), which must stay
+bit-identical to the encoded fast path.
+
+Regenerate the goldens ONLY for intentional trace-content or
+simulator-semantics changes: ``python tests/golden/generate_goldens.py``
+(see that file's docstring).
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import ExperimentSettings, run_workload
+from repro.isa.trace import DynamicTrace
+from repro.sampling.driver import run_sampled_workload
+from repro.sampling.plan import SamplingPlan
+from repro.workloads.suites import build_workload
+
+GOLDEN_PATH = (Path(__file__).resolve().parent.parent
+               / "golden" / "hotpath_golden.json")
+
+FULL_DETAIL_WORKLOADS = ("vortex", "mesa.m")
+FULL_DETAIL_CONFIGS = ("oracle-associative-3", "associative-5-predictive",
+                       "indexed-3-fwd+dly")
+FULL_DETAIL_INSTRUCTIONS = 20_000   # crosses the 16384-uop segment boundary
+
+SAMPLED_WORKLOAD = "vortex"
+SAMPLED_INSTRUCTIONS = 60_000
+SAMPLED_CONFIGS = ("oracle-associative-3", "indexed-3-fwd+dly")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _plan():
+    return SamplingPlan(interval_length=500, detailed_warmup=300,
+                        period=10_000, functional_warmup=2_000, seed=3)
+
+
+def _stats_dict(stats) -> dict:
+    return {name: value for name, value in sorted(stats.as_dict().items())}
+
+
+class TestFullDetailGoldens:
+    @pytest.mark.parametrize("workload", FULL_DETAIL_WORKLOADS)
+    def test_encoded_path_matches_frozen_counters(self, golden, workload):
+        settings = ExperimentSettings(instructions=FULL_DETAIL_INSTRUCTIONS)
+        trace = build_workload(workload,
+                               instructions=FULL_DETAIL_INSTRUCTIONS, seed=1)
+        for config in FULL_DETAIL_CONFIGS:
+            record = run_workload(trace, config, settings)
+            want = golden["full_detail"][f"{workload}/{config}"]
+            assert _stats_dict(record.result.stats) == want["stats"], config
+            assert dict(sorted(record.result.extra.items())) == want["extra"], config
+
+    @pytest.mark.parametrize("workload", FULL_DETAIL_WORKLOADS)
+    def test_object_path_matches_frozen_counters(self, golden, workload):
+        settings = ExperimentSettings(instructions=FULL_DETAIL_INSTRUCTIONS)
+        encoded = build_workload(workload,
+                                 instructions=FULL_DETAIL_INSTRUCTIONS, seed=1)
+        object_trace = DynamicTrace(name=workload, uops=encoded.uops)
+        for config in FULL_DETAIL_CONFIGS:
+            record = run_workload(object_trace, config, settings)
+            want = golden["full_detail"][f"{workload}/{config}"]
+            assert _stats_dict(record.result.stats) == want["stats"], config
+
+
+class TestSampledGoldens:
+    @pytest.mark.parametrize("config", SAMPLED_CONFIGS)
+    def test_bounded_sampled_run_matches_frozen_counters(self, golden, config):
+        settings = ExperimentSettings(instructions=SAMPLED_INSTRUCTIONS,
+                                      sampling=_plan(), checkpoints=False)
+        record = run_sampled_workload(SAMPLED_WORKLOAD, config, settings)
+        want = golden["sampled_bounded"][f"{SAMPLED_WORKLOAD}/{config}"]
+        sampled = record.result.sampled
+        assert _stats_dict(record.result.stats) == want["stats"]
+        assert sampled.cpi_mean == want["cpi_mean"]
+        assert [m.cycles for m in sampled.intervals] == want["interval_cycles"]
+        assert [m.instructions for m in sampled.intervals] \
+            == want["interval_instructions"]
+
+    @pytest.mark.parametrize("config", SAMPLED_CONFIGS)
+    def test_checkpointed_sampled_run_matches_frozen_counters(self, golden,
+                                                              config):
+        settings = ExperimentSettings(instructions=SAMPLED_INSTRUCTIONS,
+                                      sampling=_plan(), checkpoints=True)
+        with tempfile.TemporaryDirectory(prefix="repro-golden-ckpt-") as ckpt:
+            record = run_sampled_workload(SAMPLED_WORKLOAD, config, settings,
+                                          checkpoint_dir=ckpt)
+        want = golden["sampled_checkpointed"][f"{SAMPLED_WORKLOAD}/{config}"]
+        sampled = record.result.sampled
+        assert _stats_dict(record.result.stats) == want["stats"]
+        assert sampled.cpi_mean == want["cpi_mean"]
+        assert [m.cycles for m in sampled.intervals] == want["interval_cycles"]

@@ -155,7 +155,7 @@ class TestWindowRegeneration:
         full = build_workload(WORKLOAD, total, seed=3)
         lo = TRACE_SEGMENT_UOPS - 2_000
         hi = TRACE_SEGMENT_UOPS + 2_000
-        assert build_workload_window(WORKLOAD, total, 3, lo, hi) == full.uops[lo:hi]
+        assert build_workload_window(WORKLOAD, total, 3, lo, hi) == full[lo:hi]
 
     def test_single_segment_matches_direct_compose(self):
         from repro.workloads.profiles import get_profile
