@@ -14,6 +14,7 @@ measured ratio.  The warm-cache re-run must always be a large win — it
 simulates nothing.
 """
 
+import os
 import time
 
 from _common import DEFAULT_INSTRUCTIONS, write_bench_json
@@ -52,10 +53,28 @@ def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKL
     serial = run_figure4(workloads=names, settings=settings, engine=serial_engine)
     serial_s = time.perf_counter() - start
 
+    # The parallel leg runs supervised (the default execution path: per-job
+    # deadlines, crash detection, retries) — its wall time is what users get.
     parallel_engine = ExperimentEngine(jobs=parallel_jobs, cache=False)
     start = time.perf_counter()
     parallel = run_figure4(workloads=names, settings=settings, engine=parallel_engine)
     parallel_s = time.perf_counter() - start
+
+    # A/B overhead leg: the same sweep on the raw (unsupervised) pool via
+    # the REPRO_SUPERVISE=0 escape hatch, so BENCH_engine.json records what
+    # supervision actually costs on a fault-free run (the < 3% guard).
+    prior_supervise = os.environ.get("REPRO_SUPERVISE")
+    os.environ["REPRO_SUPERVISE"] = "0"
+    try:
+        raw_engine = ExperimentEngine(jobs=parallel_jobs, cache=False)
+        start = time.perf_counter()
+        raw = run_figure4(workloads=names, settings=settings, engine=raw_engine)
+        raw_s = time.perf_counter() - start
+    finally:
+        if prior_supervise is None:
+            os.environ.pop("REPRO_SUPERVISE", None)
+        else:
+            os.environ["REPRO_SUPERVISE"] = prior_supervise
 
     cached_engine = ExperimentEngine(jobs=1, cache=ResultCache(cache_dir))
     cold = run_figure4(workloads=names, settings=settings, engine=cached_engine)
@@ -67,6 +86,7 @@ def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKL
 
     reference = _signature(serial)
     assert _signature(parallel) == reference, "parallel run diverged from serial"
+    assert _signature(raw) == reference, "unsupervised run diverged from serial"
     assert _signature(cold) == reference, "cache-populating run diverged from serial"
     assert _signature(warm) == reference, "cache-hit run diverged from serial"
     assert warm_stats["cache_hits"] == warm_stats["total"], warm_stats
@@ -78,6 +98,9 @@ def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKL
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "raw_parallel_s": round(raw_s, 3),
+        "supervision_overhead_pct": round(
+            100.0 * (parallel_s - raw_s) / raw_s, 2) if raw_s else 0.0,
         "warm_cache_s": round(warm_s, 4),
         "warm_cache_speedup": round(serial_s / warm_s, 1) if warm_s else 0.0,
         "cold_cache_stats": cold_stats,
@@ -86,13 +109,37 @@ def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKL
     }
 
 
+def assert_supervision_overhead(data):
+    """The fault-free overhead guard: supervision (on by default) must cost
+    < 3% of raw-pool throughput.
+
+    Like the parallel-speedup bar, the band is hardware-gated: on a
+    single-CPU box the supervisor, both workers, and the OS contend for
+    one core and identical runs swing far more than 3% either way, so the
+    measurement is recorded (``supervision_overhead_pct`` is the
+    trajectory number) but only enforced where it is meaningful.  A small
+    absolute slack absorbs timer noise on sweeps short enough that 3% is
+    milliseconds.
+    """
+    if data["cpus"] < 2:
+        return
+    assert data["parallel_s"] <= data["raw_parallel_s"] * 1.03 + 0.75, (
+        f"supervised parallel sweep {data['parallel_s']}s exceeds raw "
+        f"{data['raw_parallel_s']}s by more than 3% (+0.75s slack): "
+        f"{data['supervision_overhead_pct']}%")
+
+
 def test_engine_speedup(tmp_path):
     data = measure_engine_speedup(cache_dir=tmp_path / "cache")
     path = write_bench_json("engine", {"wall_time_s": data["serial_s"], **data})
     print(f"\nengine speedup: serial {data['serial_s']}s, "
           f"parallel x{data['parallel_speedup']} ({data['parallel_jobs']} workers, "
-          f"{data['cpus']} CPUs), warm cache x{data['warm_cache_speedup']} "
+          f"{data['cpus']} CPUs), warm cache x{data['warm_cache_speedup']}, "
+          f"supervision overhead {data['supervision_overhead_pct']}% "
           f"-> {path.name}")
+
+    # Supervision is on by default; it must be nearly free when no faults fire.
+    assert_supervision_overhead(data)
 
     # The warm cache simulates nothing; it must be a large win everywhere.
     assert data["warm_cache_speedup"] >= 5.0, data

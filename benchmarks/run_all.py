@@ -42,7 +42,10 @@ from bench_core_throughput import (  # noqa: E402
     assert_core_throughput,
     measure_core_throughput,
 )
-from bench_engine_speedup import measure_engine_speedup  # noqa: E402
+from bench_engine_speedup import (  # noqa: E402
+    assert_supervision_overhead,
+    measure_engine_speedup,
+)
 from bench_sampling_speedup import (  # noqa: E402
     assert_checkpointed_sweep,
     assert_sharded_generation,
@@ -53,7 +56,7 @@ from bench_sampling_speedup import (  # noqa: E402
     measure_sharded_generation,
 )
 
-from repro.exec import ExperimentEngine  # noqa: E402
+from repro.exec import EnvKnobError, ExperimentEngine  # noqa: E402
 from repro.harness.figure4 import run_figure4  # noqa: E402
 from repro.harness.figure5 import run_figure5  # noqa: E402
 from repro.harness.runner import ExperimentSettings, geometric_mean  # noqa: E402
@@ -152,6 +155,7 @@ def bench_core(_engine: ExperimentEngine) -> dict:
 def bench_engine(_engine: ExperimentEngine) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         data = measure_engine_speedup(cache_dir=cache_dir)
+    assert_supervision_overhead(data)
     assert data["warm_cache_speedup"] >= 5.0, data
     if data["cpus"] >= 4:
         assert data["parallel_speedup"] >= 2.0, data
@@ -210,7 +214,13 @@ def main() -> int:
     # of regenerating each artifact, not the state of .repro-cache/.  The
     # caching win is measured explicitly (and its bit-identity asserted) by
     # the "engine" bench below.
-    engine = ExperimentEngine.from_settings(_settings(), cache=False)
+    try:
+        engine = ExperimentEngine.from_settings(_settings(), cache=False)
+    except EnvKnobError as exc:
+        # Misconfigured REPRO_* knobs are operator errors, not bench
+        # failures: one actionable line, distinct exit status, no traceback.
+        print(f"invalid environment: {exc}", file=sys.stderr)
+        return 2
     only = {name.strip() for name in
             os.environ.get("REPRO_BENCH_ONLY", "").split(",") if name.strip()}
     benches = [(name, bench) for name, bench in BENCHES

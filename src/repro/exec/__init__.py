@@ -16,9 +16,18 @@ This package is the performance substrate under every timing experiment:
   independently, and merges the records deterministically (see
   :mod:`repro.sampling`).
 
+* :mod:`repro.exec.resilience` — failure semantics for all of the above:
+  supervised pool fan-out (per-job timeouts, crash detection, retry with
+  backoff, pool self-healing, degradation to serial), integrity-checked
+  store blobs with quarantine-and-recompute, and deterministic fault
+  injection (``REPRO_FAULT_PLAN``) that proves faulted runs stay
+  bit-identical.
+
 Environment knobs: ``REPRO_JOBS`` (worker count; <= 0 means all CPUs),
 ``REPRO_CACHE`` (``0`` disables caching), ``REPRO_CACHE_DIR`` (cache
-location, default ``.repro-cache/``; delete it at any time to reset).
+location, default ``.repro-cache/``; delete it at any time to reset),
+``REPRO_RETRIES`` / ``REPRO_JOB_TIMEOUT`` / ``REPRO_SUPERVISE`` /
+``REPRO_FAULT_PLAN`` (failure semantics; see :mod:`repro.exec.resilience`).
 """
 
 from repro.exec.cache import (
@@ -35,20 +44,40 @@ from repro.exec.fingerprint import (
     workload_fingerprint,
 )
 from repro.exec.jobs import IntervalJobSpec, JobSpec, run_job
+from repro.exec.resilience import (
+    EnvKnobError,
+    ExperimentFailure,
+    JobFailure,
+    parse_fault_plan,
+    resolve_job_timeout,
+    resolve_retries,
+    run_supervised,
+    supervision_enabled,
+    validate_environment,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
+    "EnvKnobError",
     "ExperimentEngine",
+    "ExperimentFailure",
+    "JobFailure",
     "available_cpus",
     "IntervalJobSpec",
     "JobSpec",
     "ResultCache",
     "generic_key",
     "job_key",
+    "parse_fault_plan",
+    "resolve_job_timeout",
     "resolve_jobs",
+    "resolve_retries",
     "run_job",
+    "run_supervised",
     "simulator_fingerprint",
+    "supervision_enabled",
     "timing_fingerprint",
+    "validate_environment",
     "workload_fingerprint",
 ]

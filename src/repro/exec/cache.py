@@ -15,10 +15,22 @@ The cache directory defaults to ``.repro-cache/`` in the current working
 directory and can be moved with the ``REPRO_CACHE_DIR`` environment
 variable.  Clearing it is always safe (``ResultCache.clear()`` or simply
 ``rm -rf .repro-cache/``); entries are re-created on demand.
+
+Integrity (PR 6): every blob is framed as ``magic || sha256(payload) ||
+payload`` and the checksum is verified on read, so a truncated write, a
+bit-rotted disk block, or torn concurrent I/O can never deserialise into a
+silently-wrong result — a damaged blob is **quarantined** (moved into a
+``quarantine/`` subdirectory, invisible to lookups, counted in the
+resilience counters) and the entry is recomputed transparently.  Writes
+that fail at the OS level (``ENOSPC``, read-only filesystems, vanished
+mounts) degrade the directory to a bounded in-memory fallback for the rest
+of the process: sweeps complete with cache semantics intact, only
+persistence is lost.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import hashlib
 import json
@@ -27,12 +39,16 @@ import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Iterable, Optional, Set
+from typing import Any, Dict, Iterable, Optional, Set
 
+from repro.exec import resilience as _resilience
 from repro.exec.fingerprint import simulator_fingerprint, workload_fingerprint
 
 #: Bumped when the pickled payload layout changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: v2: blobs carry the integrity frame (magic + SHA-256 content checksum),
+#: so pre-frame entries — which would all fail verification — are keyed
+#: away instead of mass-quarantined on upgrade.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -63,6 +79,44 @@ _SWEPT_DIRS: Set[str] = set()
 #: two runs that resolve differently never share an entry and two spellings
 #: of the same resolution never miss.
 _RESOLVED_FIELDS = ("checkpoints",)
+
+#: Integrity-frame magic: a blob is ``magic || sha256(payload) || payload``.
+_BLOB_MAGIC = b"RPRBLOB2"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+_FRAME_HEADER_BYTES = len(_BLOB_MAGIC) + _DIGEST_BYTES
+
+#: Subdirectory damaged blobs are moved into (``*.pkl`` lookups never
+#: recurse, so quarantined blobs are invisible; kept for post-mortems,
+#: emptied by :meth:`ResultCache.clear`).
+_QUARANTINE_DIR = "quarantine"
+
+#: Directories whose disk writes failed (``ENOSPC`` and friends): their
+#: puts go to the in-memory fallback for the rest of the process.
+_DEGRADED_DIRS: Set[str] = set()
+
+#: Bounded per-directory in-memory fallback (LRU of *pickled* payloads, so
+#: fallback entries keep the store's value-copy semantics — callers mutate
+#: live policy objects after ``put``).  Small on purpose: it exists so a
+#: sweep on a full disk finishes correctly, not to replace the disk.
+_MEMORY_FALLBACK: Dict[str, "collections.OrderedDict[str, bytes]"] = {}
+_MEMORY_FALLBACK_LIMIT = 64
+
+
+def _frame(payload: bytes) -> bytes:
+    """Wrap a pickled payload in the integrity frame."""
+    return _BLOB_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def _unframe(blob: bytes) -> bytes:
+    """Verify and strip the integrity frame; raises ``ValueError`` on any
+    damage (wrong magic, short read, checksum mismatch)."""
+    if len(blob) < _FRAME_HEADER_BYTES or not blob.startswith(_BLOB_MAGIC):
+        raise ValueError("blob is not integrity-framed")
+    payload = blob[_FRAME_HEADER_BYTES:]
+    digest = blob[len(_BLOB_MAGIC):_FRAME_HEADER_BYTES]
+    if hashlib.sha256(payload).digest() != digest:
+        raise ValueError("blob checksum mismatch")
+    return payload
 
 
 def _canonical(obj: Any) -> Any:
@@ -162,35 +216,129 @@ class ResultCache:
                 pass
         return removed
 
+    def _memory(self) -> "collections.OrderedDict[str, bytes]":
+        return _MEMORY_FALLBACK.setdefault(str(self.directory),
+                                           collections.OrderedDict())
+
+    def _memory_put(self, key: str, payload: bytes) -> None:
+        memory = self._memory()
+        memory.pop(key, None)
+        memory[key] = payload
+        while len(memory) > _MEMORY_FALLBACK_LIMIT:
+            memory.popitem(last=False)
+
+    def _memory_get(self, key: str) -> Optional[Any]:
+        payload = self._memory().get(key)
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:  # pragma: no cover - payload was pickled by us
+            return None
+
+    def _quarantine(self, key: str) -> None:
+        """Move a damaged blob aside (kept for post-mortems, invisible to
+        lookups) and count it; on any filesystem trouble just unlink it —
+        the one non-negotiable outcome is that the entry stops matching."""
+        _resilience.count("blobs_quarantined")
+        path = self._path(key)
+        try:
+            hold = self.directory / _QUARANTINE_DIR
+            hold.mkdir(parents=True, exist_ok=True)
+            os.replace(path, hold / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, key: str) -> Optional[Any]:
         """Return the cached value for ``key``, or ``None`` on any miss.
 
-        Unreadable or corrupt entries (interrupted writes, version skew in
-        pickled classes) are treated as misses, never as errors.
+        The integrity frame is verified before anything is unpickled:
+        truncated writes, bit rot, and torn concurrent I/O are quarantined
+        and reported as misses (the caller recomputes and repairs), never
+        as errors and never as silently-wrong values.  Version skew in the
+        pickled classes (a checksum-valid blob that no longer unpickles)
+        is likewise a quarantined miss.
         """
         try:
             blob = self._path(key).read_bytes()
-            return pickle.loads(blob)
+        except OSError:
+            return self._memory_get(key)
+        try:
+            return pickle.loads(_unframe(blob))
         except Exception:
-            # pickle.loads can raise nearly anything on a truncated or
-            # bit-rotted stream (ValueError, KeyError, TypeError, ...);
+            # Frame verification and pickle.loads can raise nearly anything
+            # on a damaged stream (ValueError, KeyError, TypeError, ...);
             # a damaged entry must never take a sweep down.
-            return None
+            self._quarantine(key)
+            return self._memory_get(key)
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic rename; last writer wins)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        """Store ``value`` under ``key`` (atomic rename; last writer wins).
+
+        Never raises on I/O failure: a directory whose writes fail at the
+        OS level (``ENOSPC``, read-only mount) degrades to the bounded
+        in-memory fallback for the rest of the process — the run completes
+        with cache semantics intact, only persistence is lost.  (An
+        interrupt such as ``KeyboardInterrupt`` still propagates, after
+        removing the partial temp file.)
+        """
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fault = None
+        plan = _resilience.current_fault_plan()
+        if plan is not None:
+            fault = plan.blob_fault(key)
+        if fault == "write_error":
+            # An injected ENOSPC: served from memory like the real thing,
+            # but without poisoning the directory for subsequent puts
+            # (real degradation is per-directory; injection is per-key).
+            _resilience.count("injected_write_errors")
+            self._memory_put(key, payload)
+            return
+        if str(self.directory) in _DEGRADED_DIRS:
+            self._memory_put(key, payload)
+            return
+        blob = _frame(payload)
+        if fault == "corrupt_blob":
+            _resilience.count("injected_corrupt_blobs")
+            index = _FRAME_HEADER_BYTES + len(payload) // 2
+            blob = blob[:index] + bytes([blob[index] ^ 0xFF]) + blob[index + 1:]
+        elif fault == "truncate_blob":
+            _resilience.count("injected_truncated_blobs")
+            blob = blob[:max(1, len(blob) // 2)]
+        tmp_name = None
         try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp_name, self._path(key))
+        except FileNotFoundError:
+            # The temp file (or the directory) vanished under us — another
+            # process's interrupt sweep or an aggressive clear.  A lost
+            # best-effort write, not a broken disk: don't degrade, the
+            # entry is simply recomputed by whoever needs it next.
+            _resilience.count("store_lost_writes")
+        except OSError:
+            # ENOSPC and friends: count it, degrade this directory to the
+            # in-memory fallback, and keep the (uncorrupted) value — the
+            # sweep must finish even when the disk will not cooperate.
+            _resilience.count("store_write_errors")
+            _DEGRADED_DIRS.add(str(self.directory))
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self._memory_put(key, payload)
         except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
             raise
 
     def __len__(self) -> int:
@@ -205,11 +353,12 @@ class ResultCache:
     def discard(self, key: str) -> bool:
         """Delete one entry (used for transient blobs such as the sharded
         generation's boundary handoffs); missing entries are not an error."""
+        dropped = self._memory().pop(key, None) is not None
         try:
             self._path(key).unlink()
             return True
         except OSError:
-            return False
+            return dropped
 
     def clear(self) -> int:
         """Delete every cache entry and stale stray temp file; returns the
@@ -228,5 +377,11 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._memory().clear()
+        try:
+            for path in (self.directory / _QUARANTINE_DIR).glob("*.pkl"):
+                path.unlink()
+        except OSError:
+            pass
         self.sweep_stale_tmp(_TMP_CLEAR_GRACE_SECONDS)
         return removed

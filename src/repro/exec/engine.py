@@ -43,9 +43,23 @@ Environment knobs:
     location (default ``.repro-checkpoints/``; safe to delete at any time).
 ``REPRO_CHECKPOINT_SHARDS``
     Trace chunks per checkpoint-generation chain (see
-    :func:`repro.sampling.checkpoints.plan_shard_jobs`).  Unset or ``<= 0``
+    :func:`repro.sampling.checkpoints.plan_shard_jobs`).  Unset or ``0``
     sizes shards from the worker count; a pure execution knob — stitched
     sharded generation is bit-identical to the single pass.
+``REPRO_RETRIES`` / ``REPRO_JOB_TIMEOUT`` / ``REPRO_SUPERVISE`` /
+``REPRO_FAULT_PLAN``
+    Failure-semantics knobs (retry budget, per-job deadline, supervision
+    escape hatch, deterministic fault injection) — all execution-only,
+    never part of cache keys; see :mod:`repro.exec.resilience`.
+
+Every pool fan-out runs **supervised** by default (see
+:mod:`repro.exec.resilience`): per-job deadlines, crash detection, retry
+with backoff, pool self-healing, and degradation to in-process serial
+execution — a sweep completes or raises a structured
+:class:`~repro.exec.resilience.ExperimentFailure`, it never hangs and
+never silently drops jobs.  Malformed ``REPRO_*`` knobs fail engine
+construction fast with a one-line
+:class:`~repro.exec.resilience.EnvKnobError`.
 """
 
 from __future__ import annotations
@@ -55,8 +69,10 @@ import multiprocessing
 import os
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.exec import resilience as _resilience
 from repro.exec.cache import ResultCache, generic_key, job_key
 from repro.exec.jobs import JobSpec, run_job
+from repro.exec.resilience import EnvKnobError, ExperimentFailure
 
 
 def available_cpus() -> int:
@@ -89,7 +105,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
             try:
                 jobs = int(env)
             except ValueError:
-                raise ValueError(
+                raise EnvKnobError(
                     f"REPRO_JOBS must be an integer (got {env!r}); "
                     "use 0 or a negative value for \"all CPUs\"") from None
         else:
@@ -122,6 +138,10 @@ class ExperimentEngine:
                  cache: Union[None, bool, ResultCache] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  checkpoint_dir: Optional[os.PathLike] = None) -> None:
+        # Fail fast on malformed REPRO_* knobs — one actionable line at
+        # construction beats a deep traceback mid-sweep (or worse, inside
+        # a pool worker).
+        _resilience.validate_environment()
         self.jobs = resolve_jobs(jobs)
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
@@ -142,6 +162,7 @@ class ExperimentEngine:
         #: Statistics of the most recent :meth:`run` call.
         self.last_run_stats: Dict[str, int] = {}
         self._checkpoint_stats: Dict[str, int] = {}
+        self._active_checkpoint_dir: Optional[str] = None
 
     @classmethod
     def from_settings(cls, settings, jobs: Optional[int] = None,
@@ -201,6 +222,7 @@ class ExperimentEngine:
                     if checkpoint_dir is None:
                         checkpoint_dir = str(
                             CheckpointStore(self.checkpoint_dir).directory)
+                        self._active_checkpoint_dir = checkpoint_dir
                 intervals = expand_sampled_spec(
                     spec, checkpointed=checkpointed,
                     checkpoint_dir=checkpoint_dir if checkpointed else None)
@@ -274,6 +296,10 @@ class ExperimentEngine:
         """
         results: List[Optional["RunRecord"]] = [None] * len(specs)
 
+        # Snapshot before the cache probe: quarantined blobs and
+        # memory-fallback reads during lookup are part of this run's story.
+        counters_before = _resilience.counters_snapshot()
+
         pending_indices: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
         hits = 0
@@ -289,31 +315,91 @@ class ExperimentEngine:
         else:
             pending_indices = list(range(len(specs)))
 
-        if pending_indices and before_run is not None:
-            before_run([specs[i] for i in pending_indices])
+        base_stats = {
+            "total": len(specs),
+            "cache_hits": hits,
+            "simulated": len(pending_indices),
+        }
 
-        workers = min(self.jobs, len(pending_indices)) if pending_indices else 0
-        if workers > 1:
-            pending_specs = [specs[i] for i in pending_indices]
-            if chunksize is None:
-                chunksize = max(1, min(16, math.ceil(len(pending_specs) / (workers * 4))))
-            with self._pool(workers) as pool:
-                records = list(pool.imap(run_job, pending_specs, chunksize))
-        else:
-            records = [run_job(specs[i]) for i in pending_indices]
+        workers = 0
+        try:
+            if pending_indices and before_run is not None:
+                before_run([specs[i] for i in pending_indices])
+
+            workers = min(self.jobs, len(pending_indices)) \
+                if pending_indices else 0
+            if workers > 1:
+                pending_specs = [specs[i] for i in pending_indices]
+                if chunksize is None:
+                    chunksize = max(1, min(16, math.ceil(
+                        len(pending_specs) / (workers * 4))))
+                if _resilience.supervision_enabled():
+                    records, _sup = _resilience.run_supervised(
+                        run_job, pending_specs, workers, scope="job",
+                        labels=[self._job_label(spec)
+                                for spec in pending_specs],
+                        chunksize=chunksize)
+                else:
+                    # Escape hatch (REPRO_SUPERVISE=0): a raw pool — no
+                    # retries, no deadlines; the context manager still
+                    # terminates workers on any exit path.
+                    with self._pool(workers) as pool:
+                        records = list(pool.imap(run_job, pending_specs,
+                                                 chunksize))
+            else:
+                records = [run_job(specs[i]) for i in pending_indices]
+        except ExperimentFailure as failure:
+            # Fail loudly *and* structuredly: the per-job report survives
+            # in last_run_stats for tooling even though the run raised.
+            base_stats["workers"] = max(workers, 1) if specs else 0
+            base_stats["failures"] = failure.report()
+            base_stats.update(_resilience.counters_delta(counters_before))
+            self.last_run_stats = base_stats
+            raise
+        except BaseException:
+            # Interrupted (KeyboardInterrupt, a worker's unexpected raise
+            # on the raw path): supervised/raw pools have already torn
+            # their workers down; sweep the *.tmp blobs those kills may
+            # have stranded so an aborted run leaks nothing.
+            self._sweep_interrupted_tmp()
+            raise
 
         for i, record in zip(pending_indices, records):
             results[i] = record
             if self.cache is not None and keys[i] is not None:
                 self.cache.put(keys[i], record)
 
-        self.last_run_stats = {
-            "total": len(specs),
-            "cache_hits": hits,
-            "simulated": len(pending_indices),
-            "workers": max(workers, 1) if specs else 0,
-        }
+        base_stats["workers"] = max(workers, 1) if specs else 0
+        base_stats.update(_resilience.counters_delta(counters_before))
+        self.last_run_stats = base_stats
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _job_label(spec) -> str:
+        label = f"{spec.workload}/{spec.config_name}"
+        interval = getattr(spec, "interval_index", None)
+        return label if interval is None else f"{label}#{interval}"
+
+    def _sweep_interrupted_tmp(self) -> None:
+        """Remove fresh ``*.tmp`` blobs after an interrupt killed writers.
+
+        Only called on the engine's abort path: the run is dying, its
+        workers are already gone, so every temp file in its stores is
+        either this run's stranded write or fair game for the stale sweep
+        anyway.  Never raises.
+        """
+        stores = []
+        if self.cache is not None:
+            stores.append(self.cache)
+        if self._active_checkpoint_dir is not None:
+            from repro.sampling.checkpoints import CheckpointStore
+
+            stores.append(CheckpointStore(self._active_checkpoint_dir))
+        for store in stores:
+            try:
+                store.sweep_stale_tmp(0.0)
+            except Exception:  # pragma: no cover - best effort
+                pass
 
     @staticmethod
     def _pool(workers: int):

@@ -90,7 +90,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.exec import fingerprint as _fingerprint
+from repro.exec import resilience as _resilience
 from repro.exec.cache import ResultCache, _canonical
+from repro.exec.resilience import EnvKnobError
 from repro.sampling.functional import FunctionalState, FunctionalWarmer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -100,7 +102,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Bumped when the snapshot payload layout changes incompatibly.
 #: v2: trace windows and segments are stored in encoded two-plane form
 #: (:class:`~repro.isa.plane.EncodedOps`) instead of micro-op object lists.
-CHECKPOINT_SCHEMA_VERSION = 2
+#: v3: blobs carry the store's integrity frame (magic + SHA-256 checksum,
+#: see :mod:`repro.exec.cache`), so pre-frame snapshots are keyed away
+#: instead of mass-quarantined on upgrade.
+CHECKPOINT_SCHEMA_VERSION = 3
 
 #: Default store directory (relative to the current working directory).
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
@@ -148,10 +153,14 @@ def resolve_checkpoint_shards(settings=None) -> int:
         try:
             explicit = int(env)
         except ValueError:
-            raise ValueError(
+            raise EnvKnobError(
                 f"REPRO_CHECKPOINT_SHARDS must be an integer (got {env!r}); "
                 "use 0 (or unset) to size shards from the worker count"
             ) from None
+        if explicit < 0:
+            raise EnvKnobError(
+                f"REPRO_CHECKPOINT_SHARDS must be >= 0 (got {explicit}); "
+                "use 0 (or unset) to size shards from the worker count")
     return max(0, int(explicit))
 
 
@@ -169,8 +178,9 @@ class CheckpointStore(ResultCache):
 
     def contains(self, key: str) -> bool:
         """Cheap existence check (no deserialisation; corruption is only
-        discovered — and repaired — at load time)."""
-        return self._path(key).exists()
+        discovered — and repaired — at load time).  Entries held by the
+        in-memory fallback of a degraded (``ENOSPC``) directory count."""
+        return self._path(key).exists() or key in self._memory()
 
 
 # --------------------------------------------------------------------- keys --
@@ -788,9 +798,22 @@ def execute_generation(store: CheckpointStore,
     shard_jobs, stats = plan_shard_jobs(store, requests, workers=jobs)
     workers = min(jobs, len(shard_jobs))
     if workers > 1:
-        with fork_pool(workers) as pool:
-            for _ in pool.imap(run_shard_job, shard_jobs, 1):
-                pass
+        if _resilience.supervision_enabled():
+            # Supervised fan-out: chunksize=1 and in-order dispatch keep
+            # the chunk-major plan order (the deadlock-freedom invariant
+            # of in-worker boundary waits); a crashed or hung shard job
+            # is retried — shard jobs are idempotent folds, and consumers
+            # of a retried producer's handoff either keep waiting within
+            # their bounded window or walk back and recompute the prefix.
+            _resilience.run_supervised(
+                run_shard_job, shard_jobs, workers, scope="shard",
+                labels=[f"{job.workload}:chunk{job.chunk_index}"
+                        for job in shard_jobs],
+                chunksize=1)
+        else:
+            with fork_pool(workers) as pool:
+                for _ in pool.imap(run_shard_job, shard_jobs, 1):
+                    pass
     else:
         for job in shard_jobs:
             run_shard_job(job)

@@ -420,12 +420,16 @@ class TestResolveShards:
         assert resolve_checkpoint_shards() == 0
         assert resolve_checkpoint_shards(SETTINGS) == 0
 
-    def test_nonpositive_means_auto(self, monkeypatch):
-        monkeypatch.setenv("REPRO_CHECKPOINT_SHARDS", "-3")
-        assert resolve_checkpoint_shards() == 0
+    def test_nonpositive_settings_mean_auto(self, monkeypatch):
+        """A settings value <= 0 is programmatic "auto"; a *negative
+        environment value* is a typo and fails fast (PR 6)."""
+        monkeypatch.delenv("REPRO_CHECKPOINT_SHARDS", raising=False)
+        explicit = dataclasses.replace(SETTINGS, checkpoint_shards=-3)
+        assert resolve_checkpoint_shards(explicit) == 0
 
-    def test_invalid_environment_fails_fast(self, monkeypatch):
-        monkeypatch.setenv("REPRO_CHECKPOINT_SHARDS", "many")
+    @pytest.mark.parametrize("bad", ["many", "-3"])
+    def test_invalid_environment_fails_fast(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_CHECKPOINT_SHARDS", bad)
         with pytest.raises(ValueError, match="REPRO_CHECKPOINT_SHARDS"):
             resolve_checkpoint_shards()
 

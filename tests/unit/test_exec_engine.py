@@ -185,6 +185,175 @@ class TestTmpStrayHygiene:
         assert cache.get("k") is None
 
 
+class TestStoreIntegrity:
+    """Framed blobs: checksum-verified reads, quarantine, write-failure
+    degradation to the bounded in-memory fallback."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_store_state(self, monkeypatch):
+        from repro.exec import cache as cache_module
+        from repro.exec import resilience
+
+        monkeypatch.setattr(cache_module, "_DEGRADED_DIRS", set())
+        monkeypatch.setattr(cache_module, "_MEMORY_FALLBACK", {})
+        monkeypatch.setattr(resilience, "_COUNTERS",
+                            type(resilience._COUNTERS)())
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        monkeypatch.setattr(resilience, "_PLAN_CACHE", {})
+
+    def test_blobs_are_framed_with_checksum(self, tmp_path):
+        from repro.exec.cache import _BLOB_MAGIC
+
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"value": 42})
+        blob = (tmp_path / "k.pkl").read_bytes()
+        assert blob.startswith(_BLOB_MAGIC)
+        assert cache.get("k") == {"value": 42}
+
+    @pytest.mark.parametrize("damage", [
+        lambda blob: blob[:len(blob) // 2],                    # truncated
+        lambda blob: blob[:-4] + b"\x00\x00\x00\x00",          # bit rot
+        lambda blob: b"not a framed blob at all",              # foreign junk
+        lambda blob: b"",                                      # empty file
+    ])
+    def test_damaged_blob_is_quarantined_miss(self, tmp_path, damage):
+        from repro.exec import resilience
+
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"value": 42})
+        path = tmp_path / "k.pkl"
+        path.write_bytes(damage(path.read_bytes()))
+        assert cache.get("k") is None
+        assert not path.exists()  # moved aside, not left to re-fail
+        assert (tmp_path / "quarantine" / "k.pkl").exists()
+        assert resilience.counters_snapshot()["blobs_quarantined"] == 1
+        # Quarantined blobs are invisible to entry listings and survive
+        # a recompute-repair cycle without interfering with it.
+        assert len(cache) == 0
+        cache.put("k", {"value": 42})
+        assert cache.get("k") == {"value": 42}
+
+    def test_quarantine_emptied_by_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", 1)
+        (tmp_path / "k.pkl").write_bytes(b"junk")
+        assert cache.get("k") is None
+        cache.clear()
+        assert list((tmp_path / "quarantine").glob("*.pkl")) == []
+
+    def test_enospc_degrades_to_memory_fallback(self, tmp_path, monkeypatch):
+        import errno
+
+        from repro.exec import resilience
+
+        import os as os_module
+
+        cache = ResultCache(tmp_path)
+        cache.put("before", 1)
+        real_replace = os_module.replace
+
+        def full_disk(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.exec.cache.os.replace", full_disk)
+        cache.put("k", {"value": 42})  # must not raise
+        monkeypatch.setattr("repro.exec.cache.os.replace", real_replace)
+        assert cache.get("k") == {"value": 42}  # served from memory
+        assert not (tmp_path / "k.pkl").exists()
+        counters = resilience.counters_snapshot()
+        assert counters["store_write_errors"] == 1
+        # The directory stays degraded: later puts skip the broken disk.
+        cache.put("later", 7)
+        assert cache.get("later") == 7
+        assert not (tmp_path / "later.pkl").exists()
+        assert counters["store_write_errors"] == 1  # no repeat OS errors
+        assert cache.get("before") == 1  # earlier disk entries still serve
+
+    def test_memory_fallback_is_bounded_lru(self, tmp_path, monkeypatch):
+        from repro.exec import cache as cache_module
+
+        monkeypatch.setattr(cache_module, "_MEMORY_FALLBACK_LIMIT", 4)
+        cache = ResultCache(tmp_path)
+        cache_module._DEGRADED_DIRS.add(str(cache.directory))
+        for i in range(8):
+            cache.put(f"k{i}", i)
+        assert cache.get("k0") is None  # evicted
+        assert cache.get("k7") == 7
+
+    def test_memory_fallback_preserves_copy_semantics(self, tmp_path):
+        from repro.exec import cache as cache_module
+
+        cache = ResultCache(tmp_path)
+        cache_module._DEGRADED_DIRS.add(str(cache.directory))
+        value = {"mutable": [1]}
+        cache.put("k", value)
+        value["mutable"].append(2)  # caller mutates after put
+        assert cache.get("k") == {"mutable": [1]}  # store kept the snapshot
+
+    def test_vanished_tmp_is_lost_write_not_degradation(self, tmp_path,
+                                                        monkeypatch):
+        from repro.exec import cache as cache_module
+        from repro.exec import resilience
+
+        cache = ResultCache(tmp_path)
+        real_replace = cache_module.os.replace
+
+        def vanished(src, dst):
+            raise FileNotFoundError(src)
+
+        monkeypatch.setattr("repro.exec.cache.os.replace", vanished)
+        cache.put("k", 1)  # must not raise
+        monkeypatch.setattr("repro.exec.cache.os.replace", real_replace)
+        assert str(cache.directory) not in cache_module._DEGRADED_DIRS
+        assert resilience.counters_snapshot()["store_lost_writes"] == 1
+        cache.put("k", 2)  # the disk still works
+        assert (tmp_path / "k.pkl").exists()
+
+    def test_injected_corrupt_blob_recovers(self, tmp_path, monkeypatch):
+        from repro.exec import resilience
+
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "corrupt_blob@p=1.0")
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"value": 42})
+        assert cache.get("k") is None  # checksum catches the damage
+        cache.put("k", {"value": 42})  # fault fires once per key
+        assert cache.get("k") == {"value": 42}
+        counters = resilience.counters_snapshot()
+        assert counters["injected_corrupt_blobs"] == 1
+        assert counters["blobs_quarantined"] == 1
+
+    def test_injected_truncated_blob_recovers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "truncate_blob@p=1.0")
+        cache = ResultCache(tmp_path)
+        cache.put("k", list(range(100)))
+        assert cache.get("k") is None
+        cache.put("k", list(range(100)))
+        assert cache.get("k") == list(range(100))
+
+    def test_injected_write_error_serves_from_memory(self, tmp_path,
+                                                     monkeypatch):
+        from repro.exec import cache as cache_module
+
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "write_error@p=1.0")
+        cache = ResultCache(tmp_path)
+        cache.put("k", 5)
+        assert not (tmp_path / "k.pkl").exists()
+        assert cache.get("k") == 5
+        # Injection is per-key, not a real broken disk: no degradation.
+        assert str(cache.directory) not in cache_module._DEGRADED_DIRS
+
+    def test_checkpoint_contains_sees_memory_fallback(self, tmp_path):
+        from repro.exec import cache as cache_module
+        from repro.sampling.checkpoints import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        cache_module._DEGRADED_DIRS.add(str(store.directory))
+        store.put("k", 1)
+        assert store.contains("k")
+        assert store.discard("k")
+        assert not store.contains("k")
+
+
 class TestEngine:
     def _specs(self, settings=FAST):
         return [JobSpec("gzip", name, settings)
