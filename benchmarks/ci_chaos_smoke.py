@@ -12,11 +12,20 @@ truncates cache blobs on write.  Asserts:
 * every blob the plan damaged was quarantined and recomputed on re-read,
 * teardown leaves no orphan worker processes and no ``*.tmp`` files.
 
+A second, MLP-enabled leg then repeats the clean / cold / warm comparison
+with the non-blocking memory hierarchy on and *checkpointed* warming
+(``checkpoints=True``), so the fault plan's blob corruption also lands on
+checkpoint-store payloads carrying the v4 schema's new classes
+(:class:`~repro.memory.mlp.NonBlockingHierarchy`, its MSHR file and
+prefetcher) — damaged snapshots must quarantine and regenerate, never
+deserialize into wrong warm state.
+
 Both legs run against private temporary cache directories — deliberately
 not the shared ``actions/cache`` store, so injected damage can never
 poison a cache other CI steps reuse.  Exits nonzero on any failure.
 """
 
+import dataclasses
 import multiprocessing
 import os
 import sys
@@ -29,6 +38,9 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from repro.exec import ExperimentEngine, ResultCache  # noqa: E402
 from repro.harness.figure4 import run_figure4  # noqa: E402
 from repro.harness.runner import ExperimentSettings  # noqa: E402
+from repro.memory.hierarchy import MemoryHierarchyConfig  # noqa: E402
+from repro.memory.mshr import MLPConfig, PrefetchConfig  # noqa: E402
+from repro.pipeline.config import CoreConfig  # noqa: E402
 from repro.sampling import SamplingPlan  # noqa: E402
 
 WORKLOADS = ("gzip", "swim")
@@ -38,6 +50,17 @@ PLAN = SamplingPlan(interval_length=800, detailed_warmup=800, period=8_000,
                     functional_warmup=4_000, seed=0)
 SETTINGS = ExperimentSettings(instructions=32_000, stats_warmup_fraction=0.0,
                               sampling=PLAN)
+
+#: The MLP leg: same plan, non-blocking hierarchy with prefetching, warmed
+#: through the checkpoint store (full-history snapshots hold the new
+#: classes, so blob faults exercise the v4 checkpoint schema).
+MLP_WORKLOADS = ("swim",)
+MLP_SETTINGS = dataclasses.replace(
+    SETTINGS,
+    core=CoreConfig(memory=MemoryHierarchyConfig(
+        mlp=MLPConfig(enabled=True, mshr_entries=8,
+                      prefetch=PrefetchConfig(enabled=True)))),
+    checkpoints=True)
 
 #: The 2x(2+1) grid has job indices 0..5: crash job 1 once, hang job 5 once
 #: (killed at the REPRO_JOB_TIMEOUT deadline below), and damage ~20% of
@@ -52,10 +75,12 @@ def _signature(result):
             for row in result.rows]
 
 
-def _run(cache_dir):
-    engine = ExperimentEngine(jobs=2, cache=ResultCache(cache_dir))
+def _run(cache_dir, settings=SETTINGS, workloads=WORKLOADS,
+         checkpoint_dir=None):
+    engine = ExperimentEngine(jobs=2, cache=ResultCache(cache_dir),
+                              checkpoint_dir=checkpoint_dir)
     start = time.perf_counter()
-    result = run_figure4(workloads=list(WORKLOADS), settings=SETTINGS,
+    result = run_figure4(workloads=list(workloads), settings=settings,
                          configs=CONFIGS, engine=engine)
     return result, dict(engine.last_run_stats), time.perf_counter() - start
 
@@ -108,6 +133,40 @@ def main() -> int:
               f"damaged blobs={injected}), warm {warm_s:.1f}s "
               f"(quarantined+recomputed={quarantined}); "
               f"all legs bit-identical, teardown clean")
+
+    # ---- MLP-enabled checkpointed leg (v4 checkpoint schema under faults) --
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-mlp-clean-") as clean_dir, \
+            tempfile.TemporaryDirectory(prefix="repro-chaos-mlp-faulted-") as chaos_dir:
+        clean, _stats, clean_s = _run(
+            clean_dir, settings=MLP_SETTINGS, workloads=MLP_WORKLOADS,
+            checkpoint_dir=os.path.join(clean_dir, "ckpt"))
+        os.environ["REPRO_FAULT_PLAN"] = FAULT_PLAN
+        os.environ["REPRO_JOB_TIMEOUT"] = JOB_TIMEOUT_S
+        try:
+            cold, cold_stats, cold_s = _run(
+                chaos_dir, settings=MLP_SETTINGS, workloads=MLP_WORKLOADS,
+                checkpoint_dir=os.path.join(chaos_dir, "ckpt"))
+            warm, warm_stats, warm_s = _run(
+                chaos_dir, settings=MLP_SETTINGS, workloads=MLP_WORKLOADS,
+                checkpoint_dir=os.path.join(chaos_dir, "ckpt"))
+        finally:
+            os.environ.pop("REPRO_FAULT_PLAN", None)
+            os.environ.pop("REPRO_JOB_TIMEOUT", None)
+
+        reference = _signature(clean)
+        assert _signature(cold) == reference, "MLP faulted run diverged"
+        assert _signature(warm) == reference, "MLP faulted warm re-run diverged"
+        assert cold_stats.get("mshr_jobs", 0) > 0, cold_stats
+        assert cold_stats.get("worker_crashes", 0) >= 1, cold_stats
+
+        _assert_clean_teardown(clean_dir, chaos_dir)
+
+        print(f"chaos smoke (MLP+checkpoints): clean {clean_s:.1f}s, "
+              f"faulted cold {cold_s:.1f}s, warm {warm_s:.1f}s "
+              f"(mshr jobs={cold_stats.get('mshr_jobs', 0)}, "
+              f"crashes={cold_stats.get('worker_crashes', 0)}, "
+              f"quarantined={warm_stats.get('blobs_quarantined', 0)}); "
+              f"bit-identical under the v4 checkpoint schema")
     return 0
 
 

@@ -46,6 +46,10 @@ from bench_engine_speedup import (  # noqa: E402
     assert_supervision_overhead,
     measure_engine_speedup,
 )
+from bench_memory_mlp import (  # noqa: E402
+    assert_memory_mlp,
+    measure_memory_mlp,
+)
 from bench_sampling_speedup import (  # noqa: E402
     assert_checkpointed_sweep,
     assert_sharded_generation,
@@ -162,6 +166,20 @@ def bench_engine(_engine: ExperimentEngine) -> dict:
     return data
 
 
+def bench_memory(_engine: ExperimentEngine) -> dict:
+    """MLP-aware memory sweep: MSHR entries x SQ policy x prefetch.
+
+    Asserts the degeneracy anchor (mshr=1 == blocking, bit for bit,
+    through the full engine path), measurable CPI separation across MSHR
+    entry counts, prefetcher sanity, serial/parallel/cached bit-identity,
+    and a checkpointed sampled leg (cold vs warm vs parallel identical).
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-bench-memory-") as cache_dir:
+        data = measure_memory_mlp(cache_dir=cache_dir)
+    assert_memory_mlp(data)
+    return data
+
+
 def bench_sampling(_engine: ExperimentEngine) -> dict:
     """Sampling speedup, the checkpointed sweep, sharded generation, and
     the paper-scale artifact.
@@ -204,6 +222,7 @@ BENCHES = (
     ("figure5", bench_figure5),
     ("core", bench_core),
     ("engine", bench_engine),
+    ("memory", bench_memory),
     ("sampling", bench_sampling),
 )
 

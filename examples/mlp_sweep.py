@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""MLP sweep: the non-blocking memory hierarchy's knobs on one workload.
+
+Runs a memory-bound workload through the same store-queue policy while
+sweeping the memory system: the default blocking hierarchy, the degenerate
+non-blocking configuration (``mshr_entries=1`` — bit-identical to blocking
+by construction), growing MSHR files, and finally the stride prefetcher.
+Prints cycles, memory-level parallelism (average outstanding demand misses
+per miss), structural stall cycles at the issue gate, and prefetch
+accuracy.
+
+Run with::
+
+    python examples/mlp_sweep.py [workload] [instructions]
+
+Knobs shown here (all on ``CoreConfig.memory.mlp``):
+
+``enabled``          turn the non-blocking model on
+``mshr_entries``     MSHR file size (1 == degenerate/blocking)
+``l2_enabled``       model the L2 non-blocking too
+``prefetch.enabled`` per-PC stride prefetcher into spare MSHR entries
+"""
+
+import sys
+
+from repro import AssociativeStoreSetsPolicy, build_workload, simulate
+from repro.memory.hierarchy import MemoryHierarchyConfig
+from repro.memory.mshr import MLPConfig, PrefetchConfig
+from repro.pipeline.config import CoreConfig
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 8_000
+
+    print(f"Building the '{workload}' proxy workload ({instructions} micro-ops)...")
+    trace = build_workload(workload, instructions=instructions)
+
+    cells = [
+        ("blocking hierarchy (default)", MLPConfig()),
+        ("non-blocking, 1 MSHR (degenerate == blocking)",
+         MLPConfig(enabled=True, mshr_entries=1, l2_enabled=False)),
+        ("non-blocking, 2 MSHRs", MLPConfig(enabled=True, mshr_entries=2)),
+        ("non-blocking, 4 MSHRs", MLPConfig(enabled=True, mshr_entries=4)),
+        ("non-blocking, 16 MSHRs", MLPConfig(enabled=True, mshr_entries=16)),
+        ("non-blocking, 8 MSHRs + stride prefetcher",
+         MLPConfig(enabled=True, mshr_entries=8,
+                   prefetch=PrefetchConfig(enabled=True))),
+    ]
+
+    print(f"\n{'memory system':48s} {'cycles':>8s} {'IPC':>6s} {'MLP':>6s} "
+          f"{'stalls':>7s} {'pf iss':>7s} {'pf acc%':>8s}")
+    for label, mlp in cells:
+        config = CoreConfig(memory=MemoryHierarchyConfig(mlp=mlp))
+        result = simulate(trace, AssociativeStoreSetsPolicy(sq_latency=5),
+                          config=config)
+        s = result.stats
+        mlp_avg = result.extra.get("mlp_avg", float("nan"))
+        mlp_col = f"{mlp_avg:6.2f}" if mlp_avg == mlp_avg else "     -"
+        acc = (100.0 * s.prefetch_useful / s.prefetch_issued
+               if s.prefetch_issued else 0.0)
+        print(f"{label:48s} {s.cycles:8d} {s.ipc:6.2f} {mlp_col} "
+              f"{s.mshr_stall_cycles:7d} {s.prefetch_issued:7d} {acc:8.1f}")
+
+    print("\nA bounded MSHR file turns would-be overlapped misses into issue-stage "
+          "stalls; more entries recover the memory-level parallelism, and the "
+          "stride prefetcher moves strided misses off the demand path entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -371,8 +371,32 @@ class ExperimentEngine:
 
         base_stats["workers"] = max(workers, 1) if specs else 0
         base_stats.update(_resilience.counters_delta(counters_before))
+        base_stats.update(self._mshr_stats(results))
         self.last_run_stats = base_stats
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _mshr_stats(records) -> Dict[str, int]:
+        """Aggregate non-blocking-hierarchy counters over a run's records.
+
+        Zero-valued (with ``mshr_jobs == 0``) when no job modelled MSHRs —
+        the counters are always present so tooling reading
+        ``last_run_stats`` needs no schema probe.
+        """
+        totals = {"mshr_jobs": 0, "mshr_demand_misses": 0,
+                  "mshr_misses_coalesced": 0, "mshr_stall_cycles": 0,
+                  "mshr_prefetch_issued": 0, "mshr_prefetch_useful": 0}
+        for record in records:
+            stats = getattr(getattr(record, "result", None), "stats", None)
+            if stats is None or not getattr(stats, "mshr_modeled", 0):
+                continue
+            totals["mshr_jobs"] += 1
+            totals["mshr_demand_misses"] += stats.mshr_demand_misses
+            totals["mshr_misses_coalesced"] += stats.misses_coalesced
+            totals["mshr_stall_cycles"] += stats.mshr_stall_cycles
+            totals["mshr_prefetch_issued"] += stats.prefetch_issued
+            totals["mshr_prefetch_useful"] += stats.prefetch_useful
+        return totals
 
     @staticmethod
     def _job_label(spec) -> str:

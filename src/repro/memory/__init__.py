@@ -11,14 +11,31 @@ from repro.memory.image import MemoryImage
 from repro.memory.cache import Cache, CacheConfig, CacheStats
 from repro.memory.tlb import TLB, TLBConfig
 from repro.memory.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+from repro.memory.mshr import (
+    MLPConfig,
+    MLPStats,
+    MSHREntry,
+    MSHRFile,
+    PrefetchConfig,
+    StridePrefetcher,
+)
+from repro.memory.mlp import NonBlockingHierarchy, build_hierarchy
 
 __all__ = [
     "Cache",
     "CacheConfig",
     "CacheStats",
+    "MLPConfig",
+    "MLPStats",
+    "MSHREntry",
+    "MSHRFile",
     "MemoryHierarchy",
     "MemoryHierarchyConfig",
     "MemoryImage",
+    "NonBlockingHierarchy",
+    "PrefetchConfig",
+    "StridePrefetcher",
     "TLB",
     "TLBConfig",
+    "build_hierarchy",
 ]

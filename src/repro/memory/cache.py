@@ -113,6 +113,32 @@ class Cache:
             ways.pop()
         return False
 
+    def probe(self, addr: int) -> bool:
+        """Access the cache *without* allocating on a miss; True on hit.
+
+        The non-blocking hierarchy's counted lookup: hits update LRU and
+        the counters exactly like :meth:`access`, but a missing line is
+        installed only when its fill lands (:meth:`touch_line` at MSHR
+        retire), not at miss time.
+        """
+        line = addr >> self._line_shift
+        sets = self._sets
+        index = line & self._set_mask
+        ways = sets.get(index)
+        stats = self.stats
+        stats.accesses += 1
+        if ways:
+            if ways[0] == line:         # MRU fast path (most hits land here)
+                stats.hits += 1
+                return True
+            if line in ways:
+                stats.hits += 1
+                ways.remove(line)
+                ways.insert(0, line)
+                return True
+        stats.misses += 1
+        return False
+
     def touch_line(self, addr: int) -> None:
         """Install a line without counting the access (used for warm-up)."""
         index, tag = self._index_tag(addr)

@@ -12,18 +12,29 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.memory.cache import Cache, CacheConfig, DEFAULT_L1_CONFIG, DEFAULT_L2_CONFIG
+from repro.memory.mshr import MLPConfig
 from repro.memory.tlb import TLB, TLBConfig
 
 
 @dataclass(frozen=True)
 class MemoryHierarchyConfig:
-    """Configuration of the full memory hierarchy."""
+    """Configuration of the full memory hierarchy.
+
+    ``mlp`` selects the non-blocking model
+    (:class:`~repro.memory.mlp.NonBlockingHierarchy`; MSHR-tracked
+    outstanding misses, miss coalescing, lazily-filled L2, optional stride
+    prefetcher).  It is off by default — this class alone always models the
+    blocking scalar-latency hierarchy — and is honoured by
+    :func:`repro.memory.mlp.build_hierarchy`, the construction point the
+    detailed core and the functional warmer share.
+    """
 
     l1: CacheConfig = DEFAULT_L1_CONFIG
     l2: CacheConfig = DEFAULT_L2_CONFIG
     tlb: TLBConfig = TLBConfig()
     memory_latency: int = 150
     model_tlb: bool = True
+    mlp: MLPConfig = MLPConfig()
 
     def __post_init__(self) -> None:
         if self.memory_latency < 1:
@@ -41,8 +52,18 @@ class HierarchyStats:
     tlb_misses: int = 0
 
     def l1_miss_rate(self) -> float:
+        """L1 misses per access; 0.0 when nothing was accessed."""
         total = self.load_accesses + self.store_accesses
         return self.l1_misses / total if total else 0.0
+
+    def l2_miss_rate(self) -> float:
+        """L2 *local* miss rate (misses per L1 miss); 0.0 when L2 was idle."""
+        return self.l2_misses / self.l1_misses if self.l1_misses else 0.0
+
+    def tlb_miss_rate(self) -> float:
+        """TLB misses per access; 0.0 when nothing was accessed."""
+        total = self.load_accesses + self.store_accesses
+        return self.tlb_misses / total if total else 0.0
 
 
 class MemoryHierarchy:

@@ -66,7 +66,7 @@ from repro.isa.registers import REG_ZERO
 from repro.lsu.load_queue import LoadQueue, LoadQueueEntry
 from repro.lsu.policies import LoadCommitInfo, LoadPrediction, SQPolicy
 from repro.lsu.store_queue import StoreQueue, StoreQueueEntry
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mlp import NonBlockingHierarchy, build_hierarchy
 from repro.memory.image import MemoryImage
 from repro.core.ssn import SSNAllocator
 from repro.pipeline.config import CoreConfig
@@ -184,7 +184,14 @@ class OutOfOrderCore:
         self.policy = policy
         self.stats = SimStats()
 
-        self.hierarchy = MemoryHierarchy(config.memory)
+        self.hierarchy = build_hierarchy(config.memory)
+        #: The non-blocking hierarchy when one is being modelled, else None
+        #: (blocking model *and* the mshr_entries=1 degenerate mode, which
+        #: is bit-identical to it).  Gates the MSHR integration: the
+        #: issue-stage structural stall and the fill-timed load path.
+        self._mlp_hier = self.hierarchy \
+            if isinstance(self.hierarchy, NonBlockingHierarchy) \
+            and self.hierarchy.nonblocking else None
         self.memory = MemoryImage()
         self.branch_unit = BranchUnit(config.branch_predictor)
         self.rat = RegisterAliasTable()
@@ -244,6 +251,9 @@ class OutOfOrderCore:
         from repro.core.svw import SVWStats
 
         self.hierarchy = state.hierarchy
+        self._mlp_hier = self.hierarchy \
+            if isinstance(self.hierarchy, NonBlockingHierarchy) \
+            and self.hierarchy.nonblocking else None
         self.memory = state.memory
         self.branch_unit = state.branch_unit
         self.ssn_alloc = state.ssn_alloc
@@ -338,6 +348,11 @@ class OutOfOrderCore:
         warmup_instr_offset = 0
         warmup_l1_misses = 0
         warmup_l2_misses = 0
+        mlp_hier = self._mlp_hier
+        # MLP counters live on the hierarchy (cumulative); delta against a
+        # run-start snapshot, re-taken at the warm-up reset, mirrors the
+        # miss-counter accounting below.
+        mlp_base = mlp_hier.mlp_stats.snapshot() if mlp_hier is not None else None
         last_commit_cycle = 0
         max_cycles = self.config.max_cycles
         idle_skip = self.config.idle_skip
@@ -378,6 +393,8 @@ class OutOfOrderCore:
                 warmup_instr_offset = stats.committed
                 warmup_l1_misses = self.hierarchy.stats.l1_misses
                 warmup_l2_misses = self.hierarchy.stats.l2_misses
+                if mlp_hier is not None:
+                    mlp_base = mlp_hier.mlp_stats.snapshot()
                 preserved_committed = stats.committed
                 stats = self.stats = SimStats()
                 stats.committed = preserved_committed
@@ -408,6 +425,21 @@ class OutOfOrderCore:
             "l1_miss_rate": self.hierarchy.stats.l1_miss_rate(),
             "rob_max_occupancy": float(self.rob.max_occupancy),
         }
+        if mlp_hier is not None:
+            mlp_stats = mlp_hier.mlp_stats
+            delta = [after - before
+                     for after, before in zip(mlp_stats.snapshot(), mlp_base)]
+            stats.mshr_modeled = 1
+            stats.mshr_demand_misses = delta[0]
+            stats.misses_coalesced = delta[1]
+            stats.mshr_inflight_sum = delta[2]
+            stats.prefetch_issued = delta[3]
+            stats.prefetch_useful = delta[4]
+            # Occupancy is a peak over the whole run (warm-up included):
+            # peaks have no warm-up share to subtract.
+            stats.mshr_occupancy = mlp_stats.occupancy_peak
+            extra["mlp_avg"] = stats.mlp_avg
+            extra["mshr_occupancy"] = float(stats.mshr_occupancy)
         return SimulationResult(workload=self._trace_name, policy=self.policy.name,
                                 stats=stats, config=self.config, extra=extra)
 
@@ -859,6 +891,7 @@ class OutOfOrderCore:
                         break
                 if heap:
                     heads[i] = heap[0][0]
+        mlp_hier = self._mlp_hier
         while total_budget > 0:
             best_i = -1
             best_seq = None
@@ -870,6 +903,17 @@ class OutOfOrderCore:
             if best_i < 0:
                 break
             heap = heaps[best_i]
+            if best_i == 3 and mlp_hier is not None \
+                    and mlp_hier.load_would_block(heap[0][2].addr, self._cycle):
+                # Structural stall: the MSHR file is full and the oldest
+                # ready load needs a new fill.  Loads issue oldest-first,
+                # so the whole class is held for this cycle; the entry
+                # stays in its heap and retries once a fill retires an
+                # entry (load_would_block retires due fills itself, so the
+                # un-block lands on exactly the fill cycle).
+                heads[3] = None
+                self.stats.mshr_stall_cycles += 1
+                continue
             _, _, record = heappop(heap)
             self._ready_count -= 1
             budgets[best_i] -= 1
@@ -919,7 +963,14 @@ class OutOfOrderCore:
 
         decision = self.policy.forward(addr, size, record.ssn_at_rename,
                                        prediction, self.store_queue)
-        cache_latency = self.hierarchy.load_latency(addr)
+        mlp_hier = self._mlp_hier
+        if mlp_hier is not None:
+            # Non-blocking hierarchy: the returned latency is derived from
+            # the MSHR fill cycle (primary misses allocate, secondary
+            # misses coalesce), so dependants wake on the fill event.
+            cache_latency = mlp_hier.load_access(addr, self._cycle, record.pc)
+        else:
+            cache_latency = self.hierarchy.load_latency(addr)
 
         if decision.forwarded:
             record.forwarded = True

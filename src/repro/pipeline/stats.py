@@ -54,6 +54,19 @@ class SimStats:
     l1_misses: int = 0
     l2_misses: int = 0
 
+    # Non-blocking memory hierarchy (the MLP model, repro.memory.mlp).
+    # Populated only when the run modelled MSHRs (``mshr_modeled``);
+    # ``as_dict`` omits the whole block otherwise so blocking-model runs
+    # keep their historical report shape (the golden contract).
+    mshr_modeled: int = 0                 # 1 when the MLP model was active
+    mshr_demand_misses: int = 0           # demand MSHR allocations
+    mshr_inflight_sum: int = 0            # in-flight demand count at each allocation
+    misses_coalesced: int = 0             # secondary misses merged onto in-flight fills
+    prefetch_issued: int = 0
+    prefetch_useful: int = 0
+    mshr_stall_cycles: int = 0            # cycles the load class was held, file full
+    mshr_occupancy: int = 0               # peak valid entries (merged as max)
+
     # -- derived metrics --------------------------------------------------------
 
     @property
@@ -90,11 +103,33 @@ class SimStats:
     def branch_misprediction_rate(self) -> float:
         return self.branch_mispredictions / self.committed_branches if self.committed_branches else 0.0
 
+    @property
+    def mlp_avg(self) -> float:
+        """Average in-flight demand misses observed at miss time."""
+        return self.mshr_inflight_sum / self.mshr_demand_misses \
+            if self.mshr_demand_misses else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        return self.prefetch_useful / self.prefetch_issued if self.prefetch_issued else 0.0
+
     def as_dict(self) -> Dict[str, float]:
-        """Flatten counters and derived metrics for reporting."""
+        """Flatten counters and derived metrics for reporting.
+
+        The MSHR/prefetch block appears only for runs that modelled the
+        non-blocking hierarchy; blocking-model runs (including the
+        mshr_entries=1 degenerate mode) report the historical key set, so
+        golden comparisons and the degeneracy anchor hold exactly.
+        """
         result: Dict[str, float] = {}
         for stats_field in fields(self):
             result[stats_field.name] = getattr(self, stats_field.name)
+        if self.mshr_modeled:
+            result["mlp_avg"] = self.mlp_avg
+            result["prefetch_accuracy"] = self.prefetch_accuracy
+        else:
+            for name in _MLP_FIELD_NAMES:
+                del result[name]
         result.update({
             "ipc": self.ipc,
             "forwarding_rate": self.forwarding_rate,
@@ -106,3 +141,11 @@ class SimStats:
             "branch_misprediction_rate": self.branch_misprediction_rate,
         })
         return result
+
+
+#: The gated non-blocking-hierarchy counters (see ``SimStats.as_dict``).
+_MLP_FIELD_NAMES = (
+    "mshr_modeled", "mshr_demand_misses", "mshr_inflight_sum",
+    "misses_coalesced", "prefetch_issued", "prefetch_useful",
+    "mshr_stall_cycles", "mshr_occupancy",
+)

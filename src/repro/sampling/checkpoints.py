@@ -105,7 +105,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: v3: blobs carry the store's integrity frame (magic + SHA-256 checksum,
 #: see :mod:`repro.exec.cache`), so pre-frame snapshots are keyed away
 #: instead of mass-quarantined on upgrade.
-CHECKPOINT_SCHEMA_VERSION = 3
+#: v4: snapshots may carry a non-blocking hierarchy
+#: (:class:`~repro.memory.mlp.NonBlockingHierarchy`: MSHR file, stride
+#: prefetcher table, prefetched-line set) when ``core.memory.mlp`` is
+#: enabled; the ``core`` key already distinguishes MLP configurations, but
+#: the payload class set changed, so old readers are keyed away.
+CHECKPOINT_SCHEMA_VERSION = 4
 
 #: Default store directory (relative to the current working directory).
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"

@@ -25,6 +25,14 @@ comparisons are preserved):
   in (out-of-order) execution order; the SVW tables, memory image, and SSN
   counters are exact, because in the detailed core they are updated at
   commit, which *is* program order.
+* Non-blocking hierarchies (``config.memory.mlp``; built through
+  :func:`repro.memory.mlp.build_hierarchy` so the warmed structure matches
+  what the detailed core adopts) warm through the inherited *blocking*
+  access path: program-order replay has no clock to schedule fills
+  against, so the MSHR file stays empty and cache tags warm with
+  install-at-miss timing.  The detailed warm-up interval then populates
+  the in-flight state, exactly as it settles the other short-lived
+  structures.
 
 The warmed state is handed to a detailed core via
 :meth:`~repro.pipeline.core.OutOfOrderCore.import_state`, after which a
@@ -59,6 +67,7 @@ from repro.isa.plane import KIND_BRANCH, KIND_LOAD, KIND_STORE, EncodedOps, enco
 from repro.isa.uop import MicroOp
 from repro.lsu.policies import SQPolicy
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mlp import build_hierarchy
 from repro.memory.image import MemoryImage
 from repro.core.ssn import SSNAllocator
 from repro.pipeline.config import CoreConfig
@@ -128,7 +137,7 @@ class FunctionalWarmer:
             self.state = FunctionalState(
                 config=config,
                 branch_unit=BranchUnit(config.branch_predictor),
-                hierarchy=MemoryHierarchy(config.memory),
+                hierarchy=build_hierarchy(config.memory),
                 memory=MemoryImage(),
                 ssn_alloc=SSNAllocator(bits=config.ssn_bits),
                 policy=self._policies[0],

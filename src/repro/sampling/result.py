@@ -116,21 +116,32 @@ class SampledResult:
 
     # ---------------------------------------------------------------- merge --
 
+    #: :class:`SimStats` fields that are peaks or flags (merged as max over
+    #: intervals) rather than summable counters: ``mshr_occupancy`` is a
+    #: peak, ``mshr_modeled`` a 0/1 flag whose sum would be meaningless.
+    PEAK_STAT_FIELDS = frozenset({"mshr_modeled", "mshr_occupancy"})
+
     def merged_stats(self) -> SimStats:
-        """Field-wise sum of the per-interval measured-region statistics."""
+        """Field-wise sum of the per-interval measured-region statistics
+        (peak/flag fields — :attr:`PEAK_STAT_FIELDS` — merge as max)."""
         merged = SimStats()
+        peak_fields = self.PEAK_STAT_FIELDS
         for measurement in self.intervals:
             for stats_field in dataclasses.fields(SimStats):
                 name = stats_field.name
-                setattr(merged, name,
-                        getattr(merged, name) + getattr(measurement.stats, name))
+                if name in peak_fields:
+                    setattr(merged, name,
+                            max(getattr(merged, name), getattr(measurement.stats, name)))
+                else:
+                    setattr(merged, name,
+                            getattr(merged, name) + getattr(measurement.stats, name))
         return merged
 
     #: ``extra`` keys that are peaks (merged as max over intervals); every
     #: other key is treated as a rate and instruction-weight averaged.  An
     #: explicit enumeration, so a future rate metric whose *name* happens
     #: to contain "max" cannot silently change aggregation semantics.
-    PEAK_EXTRA_KEYS = frozenset({"rob_max_occupancy"})
+    PEAK_EXTRA_KEYS = frozenset({"rob_max_occupancy", "mshr_occupancy"})
 
     def merged_extra(self) -> Dict[str, float]:
         """Merge the per-interval ``extra`` metrics.

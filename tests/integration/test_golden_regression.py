@@ -106,3 +106,32 @@ class TestSampledGoldens:
         assert _stats_dict(record.result.stats) == want["stats"]
         assert sampled.cpi_mean == want["cpi_mean"]
         assert [m.cycles for m in sampled.intervals] == want["interval_cycles"]
+
+
+class TestDegenerateMLPGoldens:
+    """The MLP degeneracy anchor, checked against the frozen goldens.
+
+    ``mshr_entries=1`` with the non-blocking L2 and prefetcher off is
+    *defined* to be the blocking hierarchy (PR 7), so running the golden
+    workloads through a :class:`~repro.memory.mlp.NonBlockingHierarchy` in
+    that configuration must reproduce the frozen counters bit for bit —
+    including the *absence* of every MSHR statistic from the payload.
+    """
+
+    @pytest.mark.parametrize("workload", FULL_DETAIL_WORKLOADS)
+    def test_degenerate_config_matches_frozen_counters(self, golden, workload):
+        from repro.memory.hierarchy import MemoryHierarchyConfig
+        from repro.memory.mshr import MLPConfig
+        from repro.pipeline.config import CoreConfig
+
+        degenerate = MLPConfig(enabled=True, mshr_entries=1, l2_enabled=False)
+        core = CoreConfig(memory=MemoryHierarchyConfig(mlp=degenerate))
+        settings = ExperimentSettings(instructions=FULL_DETAIL_INSTRUCTIONS,
+                                      core=core)
+        trace = build_workload(workload,
+                               instructions=FULL_DETAIL_INSTRUCTIONS, seed=1)
+        for config in FULL_DETAIL_CONFIGS:
+            record = run_workload(trace, config, settings)
+            want = golden["full_detail"][f"{workload}/{config}"]
+            assert _stats_dict(record.result.stats) == want["stats"], config
+            assert dict(sorted(record.result.extra.items())) == want["extra"], config

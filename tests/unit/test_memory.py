@@ -171,6 +171,27 @@ class TestCache:
         cache.reset_stats()
         assert cache.stats.accesses == 0
 
+    def test_rates_on_zero_accesses(self):
+        stats = self._tiny().stats
+        assert stats.accesses == 0
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_probe_counts_but_does_not_install(self):
+        cache = self._tiny()
+        assert cache.probe(0x1000) is False
+        assert cache.stats.misses == 1
+        assert cache.access(0x1000) is False   # probe miss didn't fill
+
+    def test_probe_hit_updates_lru(self):
+        cache = self._tiny()
+        cache.access(0x1000)                   # way 0
+        cache.access(0x1000 + 512)             # way 1 (same set)
+        assert cache.probe(0x1000) is True     # 0x1000 becomes MRU
+        cache.access(0x1000 + 1024)            # evicts LRU = 0x1200
+        assert cache.lookup(0x1000) is True
+        assert cache.lookup(0x1000 + 512) is False
+
 
 class TestTLB:
     def test_miss_then_hit(self):
@@ -250,6 +271,21 @@ class TestHierarchy:
 
     def test_l1_latency_property(self):
         assert self._small().l1_latency == 3
+
+    def test_rates_on_zero_accesses(self):
+        stats = self._small().stats
+        assert stats.l1_miss_rate() == 0.0
+        assert stats.l2_miss_rate() == 0.0
+        assert stats.tlb_miss_rate() == 0.0
+
+    def test_l2_and_tlb_miss_rates(self):
+        hierarchy = MemoryHierarchy(MemoryHierarchyConfig(model_tlb=True))
+        hierarchy.load_latency(0x1000)          # cold: misses L1, L2, TLB
+        hierarchy.load_latency(0x1000)          # hits everywhere
+        stats = hierarchy.stats
+        assert stats.l1_miss_rate() == pytest.approx(0.5)
+        assert stats.l2_miss_rate() == pytest.approx(1.0)
+        assert stats.tlb_miss_rate() == pytest.approx(0.5)
 
     def test_default_config_matches_paper(self):
         hierarchy = MemoryHierarchy()
