@@ -31,6 +31,7 @@ import os
 from pathlib import Path
 
 from repro.exec import available_cpus
+from repro.exec.dispatch import scheduler_counters
 from repro.exec.resilience import counters_snapshot
 
 #: Repository root (benchmarks/ lives directly under it); the BENCH_*.json
@@ -73,11 +74,14 @@ def write_bench_json(name: str, payload: dict) -> Path:
     """Write one machine-readable ``BENCH_<name>.json`` at the repo root.
 
     Every trajectory file carries the same envelope (UTC timestamp, trace
-    length, CPU count, the ``REPRO_*`` knobs in effect, and the process's
+    length, CPU count, the ``REPRO_*`` knobs in effect, the process's
     resilience counters — retries, quarantined blobs, degradations — so a
     wall time achieved *through* recovery work is never mistaken for a
-    clean one) plus bench-specific metrics, so tooling can track the
-    performance trajectory across PRs without parsing pytest output.
+    clean one, and the process's scheduler counters — dispatch runs, jobs,
+    steals, dispatcher overhead — so the execution-backend seam's cost is
+    visible in every file) plus bench-specific metrics, so tooling can
+    track the performance trajectory across PRs without parsing pytest
+    output.
     """
     path = REPO_ROOT / f"BENCH_{name}.json"
     envelope = {
@@ -86,6 +90,7 @@ def write_bench_json(name: str, payload: dict) -> Path:
         .isoformat(timespec="seconds"),
         "instructions": DEFAULT_INSTRUCTIONS,
         "resilience": counters_snapshot(),
+        "scheduler": scheduler_counters(),
     }
     envelope.update(run_environment())
     envelope.update(payload)

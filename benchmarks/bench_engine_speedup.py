@@ -12,6 +12,15 @@ only when at least four CPUs are actually available (the paper-sweep target
 box); on smaller machines the run still checks bit-identity and records the
 measured ratio.  The warm-cache re-run must always be a large win — it
 simulates nothing.
+
+The ``backend_matrix`` leg times the same sweep through each execution
+backend (``REPRO_BACKEND=serial`` / ``supervised-pool`` / ``local-cluster``)
+and A/B-measures the dispatcher seam itself: the identical job list through
+the frozen :func:`repro.exec.resilience.run_supervised` collector versus
+through :func:`repro.exec.dispatch.dispatch` over ``SupervisedPoolBackend``.
+The seam must cost < 3% fault-free (>= 2 CPUs) and ``local-cluster`` must
+reach >= 1.3x over serial where the hardware can show it (>= 4 CPUs);
+bit-identity across every leg is asserted unconditionally.
 """
 
 import os
@@ -19,13 +28,31 @@ import time
 
 from _common import DEFAULT_INSTRUCTIONS, write_bench_json
 
-from repro.exec import ExperimentEngine, ResultCache, available_cpus
+from repro.exec import (
+    DispatchJob,
+    ExperimentEngine,
+    JobSpec,
+    ResultCache,
+    SupervisedPoolBackend,
+    available_cpus,
+    dispatch,
+    run_job,
+    run_supervised,
+)
 from repro.harness.figure4 import run_figure4
 from repro.harness.runner import ExperimentSettings
 
 #: A cross-suite subset (media / int / fp, forwarding-heavy and quiet,
 #: cache-friendly and memory-bound) big enough to amortise pool start-up.
 SPEEDUP_WORKLOADS = ("gzip", "mesa.m", "swim", "vortex", "mcf", "eon.c")
+
+#: Every selectable execution backend, swept by ``measure_backend_matrix``.
+MATRIX_BACKENDS = ("serial", "supervised-pool", "local-cluster")
+
+#: Scheduler-observability keys recorded per matrix leg (the same set the
+#: engine folds into ``last_run_stats``).
+_SCHEDULER_KEYS = ("backend", "queue_depth_peak", "inflight_peak",
+                   "steals", "dispatch_overhead_ns")
 
 
 def _signature(result):
@@ -109,6 +136,117 @@ def measure_engine_speedup(cache_dir, instructions=None, workloads=SPEEDUP_WORKL
     }
 
 
+def measure_backend_matrix(instructions=None, workloads=SPEEDUP_WORKLOADS,
+                           jobs=None):
+    """Time one Figure 4 sweep through every execution backend.
+
+    Returns a dict with one leg per ``MATRIX_BACKENDS`` entry (wall time
+    plus the engine's scheduler counters) and the dispatcher A/B numbers:
+    the identical job list through the frozen ``run_supervised`` collector
+    and through ``dispatch()`` over ``SupervisedPoolBackend``.  Asserts
+    bit-identity of every leg unconditionally; the hardware-gated speed
+    bars live in :func:`assert_backend_matrix`.
+    """
+    instructions = instructions or DEFAULT_INSTRUCTIONS
+    cpus = available_cpus()
+    if jobs is None:
+        jobs = max(4, cpus) if cpus >= 4 else max(2, cpus)
+    settings = ExperimentSettings(instructions=instructions,
+                                  stats_warmup_fraction=0.25)
+    names = list(workloads)
+
+    legs = {}
+    reference = None
+    prior_backend = os.environ.get("REPRO_BACKEND")
+    try:
+        for backend_name in MATRIX_BACKENDS:
+            os.environ["REPRO_BACKEND"] = backend_name
+            engine = ExperimentEngine(
+                jobs=1 if backend_name == "serial" else jobs, cache=False)
+            start = time.perf_counter()
+            result = run_figure4(workloads=names, settings=settings,
+                                 engine=engine)
+            wall = time.perf_counter() - start
+            if reference is None:
+                reference = _signature(result)
+            else:
+                assert _signature(result) == reference, \
+                    f"{backend_name} sweep diverged from serial"
+            stats = engine.last_run_stats
+            legs[backend_name] = {
+                "wall_s": round(wall, 3),
+                "scheduler": {key: stats[key] for key in _SCHEDULER_KEYS},
+            }
+    finally:
+        if prior_backend is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = prior_backend
+
+    # Dispatcher A/B on identical (fn, payloads): the frozen run_supervised
+    # collector is the pre-seam reference implementation, so the difference
+    # is exactly what the dispatch() event loop adds.
+    specs = [JobSpec(workload, config, settings)
+             for workload in names
+             for config in ("indexed-3-fwd+dly", "associative-5-predictive")]
+    start = time.perf_counter()
+    frozen_records, _stats = run_supervised(run_job, specs, jobs,
+                                            scope="job", chunksize=1)
+    frozen_s = time.perf_counter() - start
+
+    dispatch_jobs = [DispatchJob(index=position, payload=spec,
+                                 label=f"{spec.workload}:{spec.config_name}")
+                     for position, spec in enumerate(specs)]
+    start = time.perf_counter()
+    dispatched_records, _stats = dispatch(SupervisedPoolBackend(jobs),
+                                          run_job, dispatch_jobs,
+                                          scope="job", chunksize=1)
+    dispatched_s = time.perf_counter() - start
+
+    assert [record.result.stats.as_dict() for record in dispatched_records] \
+        == [record.result.stats.as_dict() for record in frozen_records], \
+        "dispatched records diverged from the frozen run_supervised path"
+
+    serial_s = legs["serial"]["wall_s"]
+    cluster_s = legs["local-cluster"]["wall_s"]
+    return {
+        "workloads": names,
+        "cpus": cpus,
+        "jobs": jobs,
+        "legs": legs,
+        "frozen_supervised_s": round(frozen_s, 3),
+        "dispatched_supervised_s": round(dispatched_s, 3),
+        "dispatch_overhead_pct": round(
+            100.0 * (dispatched_s - frozen_s) / frozen_s, 2)
+        if frozen_s else 0.0,
+        "cluster_speedup": round(serial_s / cluster_s, 3) if cluster_s else 0.0,
+    }
+
+
+def assert_backend_matrix(data):
+    """Hardware-gated bars for the backend matrix.
+
+    Bit-identity across every leg is asserted unconditionally inside
+    ``measure_backend_matrix``; the speed bars below only fire where the
+    hardware can express them (same gating rationale as
+    :func:`assert_supervision_overhead` — on a starved box identical runs
+    swing more than the band either way, so the trajectory number is
+    recorded but not enforced).  A small absolute slack absorbs timer
+    noise on sweeps short enough that 3% is milliseconds.
+    """
+    if data["cpus"] >= 2:
+        assert data["dispatched_supervised_s"] <= \
+            data["frozen_supervised_s"] * 1.03 + 0.75, (
+                f"dispatcher seam {data['dispatched_supervised_s']}s exceeds "
+                f"frozen run_supervised {data['frozen_supervised_s']}s by "
+                f"more than 3% (+0.75s slack): "
+                f"{data['dispatch_overhead_pct']}%")
+    if data["cpus"] >= 4:
+        assert data["cluster_speedup"] >= 1.3, (
+            f"local-cluster x{data['cluster_speedup']} under the 1.3x bar "
+            f"over serial on {data['cpus']} CPUs", data["legs"])
+
+
 def assert_supervision_overhead(data):
     """The fault-free overhead guard: supervision (on by default) must cost
     < 3% of raw-pool throughput.
@@ -131,15 +269,23 @@ def assert_supervision_overhead(data):
 
 def test_engine_speedup(tmp_path):
     data = measure_engine_speedup(cache_dir=tmp_path / "cache")
-    path = write_bench_json("engine", {"wall_time_s": data["serial_s"], **data})
+    matrix = measure_backend_matrix()
+    path = write_bench_json("engine", {"wall_time_s": data["serial_s"],
+                                       "backend_matrix": matrix, **data})
     print(f"\nengine speedup: serial {data['serial_s']}s, "
           f"parallel x{data['parallel_speedup']} ({data['parallel_jobs']} workers, "
           f"{data['cpus']} CPUs), warm cache x{data['warm_cache_speedup']}, "
-          f"supervision overhead {data['supervision_overhead_pct']}% "
+          f"supervision overhead {data['supervision_overhead_pct']}%, "
+          f"dispatcher overhead {matrix['dispatch_overhead_pct']}%, "
+          f"cluster x{matrix['cluster_speedup']} "
           f"-> {path.name}")
 
     # Supervision is on by default; it must be nearly free when no faults fire.
     assert_supervision_overhead(data)
+
+    # The dispatcher seam must be nearly free too, and local-cluster must
+    # pay for itself where the hardware can show it.
+    assert_backend_matrix(matrix)
 
     # The warm cache simulates nothing; it must be a large win everywhere.
     assert data["warm_cache_speedup"] >= 5.0, data

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""CI smoke test: the local-cluster backend end to end, with clean teardown.
+
+Forces ``REPRO_BACKEND=local-cluster`` (N worker processes pulling jobs
+work-stealing-style from a content-addressed spool) through the two
+heaviest engine paths and checks it against an unforced serial reference:
+
+* **Sampled smoke** — the tiny sampled Figure-4 grid from
+  ``ci_sampled_smoke.py``, cold then warm against a private cache.  The
+  cluster run must merge to results bit-identical to the serial reference,
+  the warm pass must be all cache hits, and the scheduler counters must
+  show the cluster actually ran the jobs (``backend=local-cluster``,
+  queue/inflight peaks; steals are opportunistic and recorded, not
+  required).
+* **Sharded checkpoint generation** — a checkpointed sampled run under
+  ``REPRO_CHECKPOINT_SHARDS=4``, where the generation stage's chunk chains
+  flow through the same dispatcher seam as explicit job dependencies.
+  Must be bit-identical to the serial unsharded reference.
+
+After both legs, teardown is asserted clean: no orphan worker processes,
+no stranded ``*.tmp`` blobs, and nothing left under ``REPRO_SPOOL_DIR``
+(every spool directory, ticket, claim, and result blob removed).
+
+Designed for the multi-vCPU GitHub Actions job (see
+``.github/workflows/ci.yml``); also passes on a single-CPU box — identity
+and hygiene are the contract here, speed is ``BENCH_engine.json``'s.
+Exits nonzero on any failure.
+"""
+
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.exec import ExperimentEngine, ResultCache, available_cpus  # noqa: E402
+from repro.harness.figure4 import run_figure4  # noqa: E402
+from repro.harness.runner import ExperimentSettings  # noqa: E402
+from repro.sampling import SamplingPlan  # noqa: E402
+
+WORKLOADS = ("gzip", "swim")
+CONFIGS = ("associative-5-predictive", "indexed-3-fwd+dly")
+
+PLAN = SamplingPlan(interval_length=800, detailed_warmup=800, period=8_000,
+                    functional_warmup=4_000, seed=0)
+SETTINGS = ExperimentSettings(instructions=32_000, stats_warmup_fraction=0.0,
+                              sampling=PLAN)
+
+CKPT_WORKLOAD = "vortex"
+CKPT_CONFIGS = ("indexed-3-fwd+dly",)
+CKPT_PLAN = SamplingPlan(interval_length=500, detailed_warmup=300,
+                         period=10_000, functional_warmup=2_000, seed=3)
+CKPT_SETTINGS = ExperimentSettings(instructions=60_000,
+                                   stats_warmup_fraction=0.0,
+                                   sampling=CKPT_PLAN, checkpoints=True)
+
+
+def _signature(result):
+    return [(row.name, row.baseline_cycles, tuple(sorted(row.relative_time.items())))
+            for row in result.rows]
+
+
+def _run(workloads, configs, settings, cache_dir, *, jobs,
+         checkpoint_dir=None):
+    engine = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_dir),
+                              checkpoint_dir=checkpoint_dir)
+    start = time.perf_counter()
+    result = run_figure4(workloads=list(workloads), settings=settings,
+                         configs=list(configs), engine=engine)
+    return result, dict(engine.last_run_stats), time.perf_counter() - start
+
+
+def _assert_clean_teardown(spool_dir, *dirs):
+    for child in multiprocessing.active_children():
+        child.join(5.0)
+    assert multiprocessing.active_children() == [], "orphan worker processes"
+    stranded = sorted(str(p) for p in Path(spool_dir).rglob("*"))
+    assert not stranded, f"stranded spool files: {stranded}"
+    leftovers = [str(p) for d in dirs for p in Path(d).rglob("*.tmp")]
+    assert not leftovers, f"leaked temp files: {leftovers}"
+
+
+def main() -> int:
+    import tempfile
+
+    jobs = max(2, available_cpus())
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as root:
+        spool_dir = os.path.join(root, "spool")
+        os.environ["REPRO_SPOOL_DIR"] = spool_dir
+        os.environ.pop("REPRO_BACKEND", None)
+        try:
+            # Serial references first, with the backend knob unset: the
+            # cluster must reproduce numbers it had no hand in computing.
+            reference, _stats, _s = _run(
+                WORKLOADS, CONFIGS, SETTINGS,
+                os.path.join(root, "ref-cache"), jobs=1,
+                checkpoint_dir=os.path.join(root, "ref-smoke-ckpt"))
+            ckpt_reference, _stats, _s = _run(
+                (CKPT_WORKLOAD,), CKPT_CONFIGS, CKPT_SETTINGS,
+                os.path.join(root, "ref-ckpt-cache"), jobs=1,
+                checkpoint_dir=os.path.join(root, "ref-ckpt"))
+
+            os.environ["REPRO_BACKEND"] = "local-cluster"
+
+            # Leg 1: sampled smoke, cold then warm.
+            cold, cold_stats, cold_s = _run(
+                WORKLOADS, CONFIGS, SETTINGS,
+                os.path.join(root, "cache"), jobs=jobs,
+                checkpoint_dir=os.path.join(root, "smoke-ckpt"))
+            warm, warm_stats, warm_s = _run(
+                WORKLOADS, CONFIGS, SETTINGS,
+                os.path.join(root, "cache"), jobs=jobs,
+                checkpoint_dir=os.path.join(root, "smoke-ckpt"))
+            assert _signature(cold) == _signature(reference), \
+                "local-cluster sampled sweep diverged from serial"
+            assert _signature(warm) == _signature(reference), \
+                "local-cluster warm re-run diverged"
+            assert cold_stats["backend"] == "local-cluster", cold_stats
+            # Steals are opportunistic (an idle worker raiding another
+            # partition), so they are recorded, not required; the queue
+            # counters prove the cluster actually ran the fan-out.
+            assert cold_stats.get("queue_depth_peak", 0) >= 1, cold_stats
+            assert cold_stats.get("inflight_peak", 0) >= 1, cold_stats
+            assert warm_stats["cache_hits"] == warm_stats["total"], warm_stats
+
+            # Leg 2: sharded checkpoint generation through the cluster.
+            os.environ["REPRO_CHECKPOINT_SHARDS"] = "4"
+            try:
+                sharded, sharded_stats, sharded_s = _run(
+                    (CKPT_WORKLOAD,), CKPT_CONFIGS, CKPT_SETTINGS,
+                    os.path.join(root, "ckpt-cache"), jobs=jobs,
+                    checkpoint_dir=os.path.join(root, "ckpt"))
+            finally:
+                os.environ.pop("REPRO_CHECKPOINT_SHARDS", None)
+            assert _signature(sharded) == _signature(ckpt_reference), \
+                "sharded cluster generation diverged from serial unsharded"
+            assert sharded_stats["backend"] == "local-cluster", sharded_stats
+            assert sharded_stats.get("checkpoint_generated", 0) >= 1, \
+                sharded_stats
+        finally:
+            os.environ.pop("REPRO_BACKEND", None)
+            os.environ.pop("REPRO_SPOOL_DIR", None)
+
+        _assert_clean_teardown(spool_dir, root)
+
+        print(f"cluster smoke ({jobs} workers, {available_cpus()} CPUs): "
+              f"sampled cold {cold_s:.1f}s "
+              f"(steals={cold_stats.get('steals', 0)}, "
+              f"inflight peak={cold_stats.get('inflight_peak', 0)}), "
+              f"warm {warm_s:.1f}s ({warm_stats['cache_hits']} cache hits), "
+              f"sharded generation {sharded_s:.1f}s "
+              f"({sharded_stats.get('checkpoint_generated', 0)} generated); "
+              f"all legs bit-identical to serial, spool + teardown clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Execution-backend tour: one dispatcher seam, three interchangeable backends.
+
+Every fan-out in the engine — plain sweeps, the raw-pool escape hatch,
+sharded checkpoint generation — flows through one dispatcher
+(:func:`repro.exec.dispatch.dispatch`) over a pluggable
+:class:`repro.exec.backend.ExecutionBackend`:
+
+* ``serial`` — in-process, input order; same structured failure
+  semantics as the pools.
+* ``supervised-pool`` — the default at ``jobs > 1``: per-job deadlines,
+  crash detection, retries, degradation.
+* ``local-cluster`` — N worker processes pulling jobs
+  work-stealing-style from a content-addressed on-disk spool,
+  publishing results through checksummed stores.
+
+The backend is a pure scheduling choice: results are bit-identical
+across all three, and ``REPRO_BACKEND`` never enters a cache key. This
+demo runs the same small sweep on each backend, compares the merged
+statistics, shows the scheduler counters each run leaves in
+``engine.last_run_stats``, and finishes with the raw event stream the
+dispatcher is built on.
+
+Run with::
+
+    python examples/backends.py
+"""
+
+import os
+import time
+
+from repro.exec import (
+    DispatchJob,
+    ExperimentEngine,
+    JobSpec,
+    SerialBackend,
+    dispatch,
+    job_key,
+)
+from repro.harness.runner import ExperimentSettings
+
+WORKLOADS = ("gzip", "vortex")
+CONFIGS = ("oracle-associative-3", "indexed-3-fwd+dly")
+SETTINGS = ExperimentSettings(instructions=6_000, stats_warmup_fraction=0.25)
+
+SCHEDULER_KEYS = ("backend", "queue_depth_peak", "inflight_peak",
+                  "steals", "dispatch_overhead_ns")
+
+
+def _specs():
+    return [JobSpec(workload, config, SETTINGS)
+            for workload in WORKLOADS for config in CONFIGS]
+
+
+def _signature(records):
+    return [record.result.stats.as_dict() for record in records]
+
+
+def main() -> None:
+    print("1. The same sweep through every backend (REPRO_BACKEND)...")
+    reference = None
+    prior = os.environ.get("REPRO_BACKEND")
+    try:
+        for name in ("serial", "supervised-pool", "local-cluster"):
+            os.environ["REPRO_BACKEND"] = name
+            engine = ExperimentEngine(jobs=2, cache=False)
+            start = time.perf_counter()
+            records = engine.run(_specs())
+            wall = time.perf_counter() - start
+            if reference is None:
+                reference = _signature(records)
+            else:
+                assert _signature(records) == reference, f"{name} diverged!"
+            scheduler = {key: engine.last_run_stats[key]
+                         for key in SCHEDULER_KEYS}
+            print(f"   {name:>15}: {len(records)} jobs in {wall:.2f}s, "
+                  f"scheduler={scheduler}")
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = prior
+    print("   all three backends produced bit-identical statistics")
+
+    print("\n2. REPRO_BACKEND is execution-only: cache keys ignore it...")
+    spec = _specs()[0]
+    keys = set()
+    for name in ("serial", "supervised-pool", "local-cluster"):
+        os.environ["REPRO_BACKEND"] = name
+        keys.add(job_key(spec))
+    os.environ.pop("REPRO_BACKEND", None)
+    keys.add(job_key(spec))
+    assert len(keys) == 1, keys
+    print(f"   one key across all backends + unset: {keys.pop()[:16]}...")
+
+    print("\n3. The event stream under the seam (what dispatch() consumes)...")
+    jobs = [DispatchJob(index=i, payload=i, label=f"square:{i}")
+            for i in range(4)]
+    events = []
+    results, stats = dispatch(SerialBackend(), lambda x: x * x, jobs,
+                              on_event=events.append)
+    for event in events:
+        print(f"   {event}")
+    print(f"   results={results}, overhead={stats.dispatch_overhead_ns}ns")
+
+    print("\nKnobs: REPRO_BACKEND (serial | supervised-pool | local-cluster; "
+          "auto when unset), REPRO_SPOOL_DIR (cluster spool location). "
+          "Both execution-only: never in cache or snapshot keys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,28 +51,67 @@ Environment knobs:
     Failure-semantics knobs (retry budget, per-job deadline, supervision
     escape hatch, deterministic fault injection) — all execution-only,
     never part of cache keys; see :mod:`repro.exec.resilience`.
+``REPRO_BACKEND`` / ``REPRO_SPOOL_DIR``
+    Execution-backend selection (``serial`` / ``supervised-pool`` /
+    ``local-cluster``; unset = auto) and the cluster spool location — see
+    :mod:`repro.exec.backend`.  Execution-only like every scheduling
+    knob: every backend is bit-identical, so neither value enters a
+    cache or snapshot key.
 
-Every pool fan-out runs **supervised** by default (see
-:mod:`repro.exec.resilience`): per-job deadlines, crash detection, retry
-with backoff, pool self-healing, and degradation to in-process serial
-execution — a sweep completes or raises a structured
-:class:`~repro.exec.resilience.ExperimentFailure`, it never hangs and
-never silently drops jobs.  Malformed ``REPRO_*`` knobs fail engine
-construction fast with a one-line
-:class:`~repro.exec.resilience.EnvKnobError`.
+Every fan-out — this engine's job pass *and* the sharded
+checkpoint-generation stage — runs through one dispatcher seam
+(:func:`repro.exec.dispatch.dispatch`) over a pluggable
+:class:`~repro.exec.backend.ExecutionBackend`.  The default pool backend
+runs **supervised** (see :mod:`repro.exec.resilience`): per-job
+deadlines, crash detection, retry with backoff, pool self-healing, and
+degradation to in-process serial execution — a sweep completes or raises
+a structured :class:`~repro.exec.resilience.ExperimentFailure`, it never
+hangs and never silently drops jobs; that contract now holds on *every*
+backend, serial included.  Scheduler observability (``backend``,
+``queue_depth_peak``, ``inflight_peak``, ``steals``,
+``dispatch_overhead_ns``) lands in :attr:`ExperimentEngine.last_run_stats`
+on every run.  Malformed ``REPRO_*`` knobs fail engine construction fast
+with a one-line :class:`~repro.exec.resilience.EnvKnobError`.
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exec import resilience as _resilience
+from repro.exec.backend import DispatchJob, resolve_backend
 from repro.exec.cache import ResultCache, generic_key, job_key
+from repro.exec.dispatch import dispatch
 from repro.exec.jobs import JobSpec, run_job
 from repro.exec.resilience import EnvKnobError, ExperimentFailure
+
+#: The scheduler-observability keys every run folds into
+#: ``last_run_stats`` (zeroed when nothing needed dispatching, so tooling
+#: needs no schema probe).
+_SCHEDULER_KEYS = ("backend", "queue_depth_peak", "inflight_peak",
+                   "steals", "dispatch_overhead_ns")
+
+
+def _validate_chunksize(chunksize) -> Optional[int]:
+    """Reject malformed ``chunksize`` on every path, parallel or not.
+
+    The serial path used to silently ignore the parameter; now a bad
+    value fails identically everywhere, and backends that cannot batch
+    document the (validated) hint as a no-op on their capabilities
+    descriptor (``supports_chunksize``).
+    """
+    if chunksize is None:
+        return None
+    if isinstance(chunksize, bool) or not isinstance(chunksize, int):
+        raise ValueError(
+            f"chunksize must be a positive integer or None "
+            f"(got {chunksize!r})")
+    if chunksize < 1:
+        raise ValueError(
+            f"chunksize must be >= 1 (got {chunksize})")
+    return chunksize
 
 
 def available_cpus() -> int:
@@ -113,18 +152,6 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs <= 0:
         jobs = available_cpus()
     return jobs
-
-
-def fork_pool(workers: int):
-    """A ``fork`` pool where available (cheap, inherits loaded code and
-    warm per-process memos), else the platform default.  The one pool
-    constructor for both the engine's job fan-out and the checkpoint
-    generation stage, so a start-method change applies everywhere."""
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    return ctx.Pool(processes=workers)
 
 
 def _cache_enabled() -> bool:
@@ -201,6 +228,11 @@ class ExperimentEngine:
         back into one record per original spec.
         """
         specs = list(specs)
+        chunksize = _validate_chunksize(chunksize)
+        # A fresh run reports only its own checkpoint work: without this
+        # reset, a run with no checkpointed specs would re-report the
+        # *previous* run's checkpoint_generated/reused/passes.
+        self._checkpoint_stats = {}
         if any(self._is_sampled_spec(spec) for spec in specs):
             return self._run_expanding_sampled(specs, chunksize)
         return self._execute(specs, chunksize)
@@ -233,7 +265,6 @@ class ExperimentEngine:
                 flat.append(spec)
         # Caller chunksize heuristics target the unexpanded grid; let the
         # default heuristic balance the (much longer) interval list instead.
-        self._checkpoint_stats = {}
         before_run = self._generate_checkpoints if any_checkpointed else None
         flat_records = self._execute(flat, None, before_run=before_run)
         results: List["RunRecord"] = []
@@ -245,7 +276,6 @@ class ExperimentEngine:
                     base_spec, flat_records[start:start + count]))
         self.last_run_stats["sampled_specs"] = sum(
             1 for base_spec, _, _ in layout if base_spec is not None)
-        self.last_run_stats.update(self._checkpoint_stats)
         return results
 
     def _generate_checkpoints(self, pending_specs: Sequence) -> None:
@@ -294,6 +324,8 @@ class ExperimentEngine:
         right before they are simulated — the hook point for the
         checkpoint-generation stage.
         """
+        chunksize = _validate_chunksize(chunksize)
+        self._checkpoint_stats = {}
         results: List[Optional["RunRecord"]] = [None] * len(specs)
 
         # Snapshot before the cache probe: quarantined blobs and
@@ -322,38 +354,37 @@ class ExperimentEngine:
         }
 
         workers = 0
+        scheduler_sink: Dict[str, object] = {}
         try:
             if pending_indices and before_run is not None:
                 before_run([specs[i] for i in pending_indices])
 
             workers = min(self.jobs, len(pending_indices)) \
                 if pending_indices else 0
-            if workers > 1:
+            if pending_indices:
                 pending_specs = [specs[i] for i in pending_indices]
-                if chunksize is None:
+                backend = resolve_backend(workers)
+                if (chunksize is None and workers > 1
+                        and backend.capabilities.supports_chunksize):
                     chunksize = max(1, min(16, math.ceil(
                         len(pending_specs) / (workers * 4))))
-                if _resilience.supervision_enabled():
-                    records, _sup = _resilience.run_supervised(
-                        run_job, pending_specs, workers, scope="job",
-                        labels=[self._job_label(spec)
-                                for spec in pending_specs],
-                        chunksize=chunksize)
-                else:
-                    # Escape hatch (REPRO_SUPERVISE=0): a raw pool — no
-                    # retries, no deadlines; the context manager still
-                    # terminates workers on any exit path.
-                    with self._pool(workers) as pool:
-                        records = list(pool.imap(run_job, pending_specs,
-                                                 chunksize))
+                dispatch_jobs = [
+                    DispatchJob(index=position, payload=spec,
+                                label=self._job_label(spec))
+                    for position, spec in enumerate(pending_specs)]
+                records, _stats = dispatch(
+                    backend, run_job, dispatch_jobs, scope="job",
+                    chunksize=chunksize, stats_sink=scheduler_sink)
             else:
-                records = [run_job(specs[i]) for i in pending_indices]
+                records = []
         except ExperimentFailure as failure:
             # Fail loudly *and* structuredly: the per-job report survives
             # in last_run_stats for tooling even though the run raised.
             base_stats["workers"] = max(workers, 1) if specs else 0
             base_stats["failures"] = failure.report()
             base_stats.update(_resilience.counters_delta(counters_before))
+            base_stats.update(self._scheduler_stats(scheduler_sink))
+            base_stats.update(self._checkpoint_stats)
             self.last_run_stats = base_stats
             raise
         except BaseException:
@@ -371,9 +402,25 @@ class ExperimentEngine:
 
         base_stats["workers"] = max(workers, 1) if specs else 0
         base_stats.update(_resilience.counters_delta(counters_before))
+        base_stats.update(self._scheduler_stats(scheduler_sink))
+        base_stats.update(self._checkpoint_stats)
         base_stats.update(self._mshr_stats(results))
         self.last_run_stats = base_stats
         return results  # type: ignore[return-value]
+
+    def _scheduler_stats(self, sink: Dict[str, object]) -> Dict[str, object]:
+        """The dispatcher's observability keys, always present.
+
+        When nothing needed dispatching the counters are zero and
+        ``backend`` names what *would* have run (the forced
+        ``REPRO_BACKEND`` choice, else serial — a zero-job fan-out).
+        """
+        if sink:
+            return {key: sink[key] for key in _SCHEDULER_KEYS}
+        name = _resilience.resolve_backend_name() or "serial"
+        stats: Dict[str, object] = dict.fromkeys(_SCHEDULER_KEYS, 0)
+        stats["backend"] = name
+        return stats
 
     @staticmethod
     def _mshr_stats(records) -> Dict[str, int]:
@@ -424,10 +471,6 @@ class ExperimentEngine:
                 store.sweep_stale_tmp(0.0)
             except Exception:  # pragma: no cover - best effort
                 pass
-
-    @staticmethod
-    def _pool(workers: int):
-        return fork_pool(workers)
 
     # ---------------------------------------------------------------- memoizing --
 

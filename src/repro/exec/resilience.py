@@ -69,6 +69,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "BACKEND_NAMES",
     "EnvKnobError",
     "ExperimentFailure",
     "FaultClause",
@@ -80,12 +81,16 @@ __all__ = [
     "counters_snapshot",
     "current_fault_plan",
     "in_pool_worker",
+    "mark_pool_worker",
     "merge_counters",
     "parse_fault_plan",
     "reset_counters",
+    "resolve_backend_name",
     "resolve_job_timeout",
     "resolve_retries",
+    "resolve_spool_dir",
     "run_supervised",
+    "supervised_events",
     "supervision_enabled",
     "validate_environment",
 ]
@@ -171,6 +176,38 @@ def supervision_enabled() -> bool:
     return os.environ.get("REPRO_SUPERVISE", "1").strip() != "0"
 
 
+#: The in-tree execution backends (see :mod:`repro.exec.backend`).
+BACKEND_NAMES = ("serial", "supervised-pool", "local-cluster")
+
+
+def resolve_backend_name() -> Optional[str]:
+    """The forced execution backend (``REPRO_BACKEND``), or ``None``.
+
+    ``None`` means *auto*: the engine picks ``serial`` for one-worker runs
+    and ``supervised-pool`` otherwise.  Purely an execution knob — every
+    backend is bit-identical on every workload — so it never participates
+    in result-cache or snapshot keys.
+    """
+    raw = os.environ.get("REPRO_BACKEND", "").strip()
+    if not raw:
+        return None
+    if raw not in BACKEND_NAMES:
+        raise EnvKnobError(
+            f"REPRO_BACKEND must be one of {', '.join(BACKEND_NAMES)} "
+            f"(got {raw!r}); unset it to let the engine choose")
+    return raw
+
+
+def resolve_spool_dir() -> Optional[str]:
+    """Root for local-cluster job spools (``REPRO_SPOOL_DIR``), or ``None``.
+
+    ``None`` means the system temp directory.  Each cluster submission
+    creates (and always removes) its own unique spool underneath.
+    """
+    raw = os.environ.get("REPRO_SPOOL_DIR", "").strip()
+    return raw or None
+
+
 def validate_environment() -> Dict[str, Any]:
     """Resolve every execution-affecting ``REPRO_*`` knob, failing fast.
 
@@ -189,6 +226,8 @@ def validate_environment() -> Dict[str, Any]:
         "retries": resolve_retries(),
         "job_timeout": resolve_job_timeout(),
         "supervise": supervision_enabled(),
+        "backend": resolve_backend_name(),
+        "spool_dir": resolve_spool_dir(),
     }
     resolved["fault_plan"] = current_fault_plan()
     return resolved
@@ -430,6 +469,16 @@ def in_pool_worker() -> bool:
     return _IN_POOL_WORKER
 
 
+def mark_pool_worker() -> None:
+    """Declare this process a pool worker (supervised or cluster).
+
+    Called from worker entry points only; enables the process-killing job
+    faults that must never fire in a supervisor or degraded-serial context.
+    """
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
 def _maybe_inject_job_fault(scope: str, index: int, attempt: int,
                             deadline_active: bool) -> None:
     """Fire a planned job fault at this exact execution point, if any."""
@@ -522,8 +571,7 @@ def _worker_main(inbox, outbox, fn) -> None:
     ``(task_id, "error", failed_index, traceback, partial, counters_delta)``
     — exceptions never kill the worker, only crashes and kills do.
     """
-    global _IN_POOL_WORKER
-    _IN_POOL_WORKER = True
+    mark_pool_worker()
     while True:
         message = inbox.get()
         if message is None:
@@ -595,34 +643,36 @@ class _Worker:
             pass
 
 
-def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
-                   workers: int, *, scope: str = "job",
-                   labels: Optional[Sequence[str]] = None,
-                   chunksize: int = 1,
-                   timeout: Optional[float] = None,
-                   retries: Optional[int] = None,
-                   degrade_after: Optional[int] = None,
-                   ) -> Tuple[List[Any], Dict[str, int]]:
-    """Execute ``payloads`` through ``fn`` on a supervised worker pool.
+def supervised_events(fn: Callable[[Any], Any], payloads: Sequence[Any],
+                      workers: int, *, scope: str = "job",
+                      labels: Optional[Sequence[str]] = None,
+                      chunksize: int = 1,
+                      timeout: Optional[float] = None,
+                      retries: Optional[int] = None,
+                      degrade_after: Optional[int] = None,
+                      deps: Optional[Sequence[Sequence[int]]] = None):
+    """Supervised execution as a stream of scheduler events.
 
-    Returns ``(results, stats)`` with results in input order.  ``fn`` must
-    be deterministic by value (retries re-execute it).  ``chunksize``
-    batches consecutive payloads per assignment (trace-memo locality, IPC
-    amortisation) — a failed chunk is retried as single-job assignments so
-    one poisoned job never drags its chunk-mates through every retry.
-    Assignments are handed to idle workers in list order, preserving the
-    FIFO dispatch invariant checkpoint shard chains rely on.
+    The generator core of :func:`run_supervised`: yields ``("start",
+    index)`` when a job is handed to a worker (or begins in-process) and
+    ``("done", index, value)`` as each result lands, in completion order.
+    On exhaustion it *returns* the run's resilience-counter delta (the
+    ``StopIteration`` value) — or raises :class:`ExperimentFailure` after
+    every other job has completed.  The event stream is what the
+    :mod:`repro.exec.dispatch` layer consumes; :func:`run_supervised`
+    remains the collect-everything convenience wrapper.
 
-    Failure semantics: worker crashes and deadline expiries are retried
-    (``retries``, default ``REPRO_RETRIES``) with exponential backoff and
-    deterministic jitter; job exceptions are permanent immediately.  Every
-    crash respawns the dead worker; once crash deaths exceed
-    ``degrade_after`` the pool is torn down and the remaining jobs run
-    serially in-process.  When any job fails permanently the remaining
-    jobs still complete, then :class:`ExperimentFailure` is raised with
-    the full per-job report.  The pool is always torn down on exit —
-    including ``KeyboardInterrupt`` — so no worker processes outlive the
-    call.
+    ``deps`` (optional, one index sequence per job, each ``dep < index``)
+    makes the dispatch-ordering contract explicit: a chunk is not handed
+    to a worker until every dependency of its jobs has been *dispatched*.
+    Dispatch-gating (not completion-gating) preserves the checkpoint
+    chains' compose-ahead overlap — a consumer may run concurrently with
+    its producer and wait in-worker for the boundary handoff — while
+    turning what used to be pool-FIFO luck into an enforced invariant.
+
+    Teardown is unconditional: leaving the generator on any path — normal
+    exhaustion, ``ExperimentFailure``, ``KeyboardInterrupt`` during
+    ``next()``, or an early ``close()`` — destroys every worker process.
     """
     payloads = list(payloads)
     total = len(payloads)
@@ -634,9 +684,17 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
         labels = [f"{scope} {i}" for i in range(total)]
     else:
         labels = list(labels)
+    if deps is not None:
+        deps = [tuple(job_deps) for job_deps in deps]
+        for index, job_deps in enumerate(deps):
+            for dep in job_deps:
+                if not 0 <= dep < index:
+                    raise ValueError(
+                        f"job {index} depends on {dep}: dependencies must "
+                        f"point at earlier jobs (topological input order)")
 
-    results: List[Any] = [None] * total
     done = [False] * total
+    started = [False] * total       # dispatched at least once, per job
     attempts = [0] * total          # failed attempts so far, per job
     ready_at = [0.0] * total        # backoff gate, per job
     failures: List[JobFailure] = []
@@ -674,18 +732,31 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
             # must be redispatched before its consumers give up waiting.
             queue.appendleft([index])
 
-    def run_serially(indices: Sequence[int]) -> None:
+    def run_serially(indices: Sequence[int]):
         """Degraded in-process execution (no deadline; crash faults are
-        worker-only, so a planned crash cannot kill the supervisor)."""
+        worker-only, so a planned crash cannot kill the supervisor).
+        Index order respects ``deps`` because dependencies point earlier."""
         for index in indices:
             if done[index] or failed[index]:
                 continue
             stats["degraded_serial_jobs"] += 1
+            if not started[index]:
+                started[index] = True
+                yield ("start", index)
             try:
-                results[index] = fn(payloads[index])
-                done[index] = True
+                value = fn(payloads[index])
             except Exception:
                 fail(index, "exception", traceback.format_exc(limit=12))
+            else:
+                done[index] = True
+                yield ("done", index, value)
+
+    def blocked_on_deps(chunk: List[int]) -> bool:
+        """Whether any job in ``chunk`` has an undispatched dependency."""
+        if deps is None:
+            return False
+        return any(not (started[d] or done[d] or failed[d])
+                   for i in chunk for d in deps[i])
 
     ctx = _pool_context()
     outbox = ctx.Queue()
@@ -728,7 +799,8 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
                         worker.assignment = None
                     worker.destroy()
                 pool.clear()
-                run_serially([i for chunk in queue for i in chunk])
+                yield from run_serially(
+                    [i for chunk in queue for i in chunk])
                 queue.clear()
                 break
 
@@ -739,6 +811,8 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
                 chunk = queue[0]
                 if any(ready_at[i] > now for i in chunk):
                     break  # backoff gate: keep dispatch in plan order
+                if blocked_on_deps(chunk):
+                    break  # dependency gate: hold plan order
                 queue.popleft()
                 chunk = [i for i in chunk if not done[i] and not failed[i]]
                 if not chunk:
@@ -748,6 +822,10 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
                 worker.assign(_Assignment(next(task_ids), chunk,
                                           attempts[chunk[0]], deadline),
                               scope, payloads)
+                for index in chunk:
+                    if not started[index]:
+                        started[index] = True
+                        yield ("start", index)
 
             busy = [worker for worker in pool if worker.assignment is not None]
             if not busy and not queue:
@@ -773,12 +851,12 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
                 if message[1] == "ok":
                     _task_id, _status, pairs, delta = message
                     merge_counters(delta)
-                    for index, value in pairs:
-                        if not done[index] and not failed[index]:
-                            results[index] = value
-                            done[index] = True
                     if owner is not None:
                         owner.assignment = None
+                    for index, value in pairs:
+                        if not done[index] and not failed[index]:
+                            done[index] = True
+                            yield ("done", index, value)
                 elif owner is not None:
                     # A job exception is permanent (deterministic jobs raise
                     # again on retry); chunk-mates after the failing job
@@ -787,16 +865,18 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
                     merge_counters(delta)
                     assignment = owner.assignment
                     owner.assignment = None
-                    for index, value in pairs:
-                        if not done[index] and not failed[index]:
-                            results[index] = value
-                            done[index] = True
+                    completed = [(index, value) for index, value in pairs
+                                 if not done[index] and not failed[index]]
+                    for index, _value in completed:
+                        done[index] = True
                     fail(bad, "exception", text.strip().splitlines()[-1])
                     unstarted = [i for i in assignment.indices
                                  if i != bad and not done[i]
                                  and not failed[i]]
                     if unstarted:
                         queue.appendleft(unstarted)
+                    for index, value in completed:
+                        yield ("done", index, value)
                 else:
                     # Stale error reply from a worker already written off
                     # as crashed/hung — its jobs are being retried; the
@@ -821,7 +901,7 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
                         f"({timeout * len(assignment.indices):g}s)")
 
         if sum(done) + sum(failed) < total:  # pragma: no cover - safety net
-            run_serially(range(total))
+            yield from run_serially(range(total))
     finally:
         for worker in pool:
             worker.stop()
@@ -835,4 +915,52 @@ def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
     run_stats = counters_delta(before_counters)
     if failures:
         raise ExperimentFailure(sorted(failures, key=lambda f: f.index))
-    return results, run_stats
+    return run_stats
+
+
+def run_supervised(fn: Callable[[Any], Any], payloads: Sequence[Any],
+                   workers: int, *, scope: str = "job",
+                   labels: Optional[Sequence[str]] = None,
+                   chunksize: int = 1,
+                   timeout: Optional[float] = None,
+                   retries: Optional[int] = None,
+                   degrade_after: Optional[int] = None,
+                   ) -> Tuple[List[Any], Dict[str, int]]:
+    """Execute ``payloads`` through ``fn`` on a supervised worker pool.
+
+    Returns ``(results, stats)`` with results in input order.  ``fn`` must
+    be deterministic by value (retries re-execute it).  ``chunksize``
+    batches consecutive payloads per assignment (trace-memo locality, IPC
+    amortisation) — a failed chunk is retried as single-job assignments so
+    one poisoned job never drags its chunk-mates through every retry.
+    Assignments are handed to idle workers in list order, preserving the
+    FIFO dispatch invariant checkpoint shard chains rely on.
+
+    Failure semantics: worker crashes and deadline expiries are retried
+    (``retries``, default ``REPRO_RETRIES``) with exponential backoff and
+    deterministic jitter; job exceptions are permanent immediately.  Every
+    crash respawns the dead worker; once crash deaths exceed
+    ``degrade_after`` the pool is torn down and the remaining jobs run
+    serially in-process.  When any job fails permanently the remaining
+    jobs still complete, then :class:`ExperimentFailure` is raised with
+    the full per-job report.  The pool is always torn down on exit —
+    including ``KeyboardInterrupt`` — so no worker processes outlive the
+    call.
+
+    This is a thin collector over :func:`supervised_events` (one scheduler
+    implementation, two consumption styles); the event stream is what the
+    backend/dispatch seam uses.
+    """
+    payloads = list(payloads)
+    results: List[Any] = [None] * len(payloads)
+    events = supervised_events(fn, payloads, workers, scope=scope,
+                               labels=labels, chunksize=chunksize,
+                               timeout=timeout, retries=retries,
+                               degrade_after=degrade_after)
+    while True:
+        try:
+            event = next(events)
+        except StopIteration as stop:
+            return results, dict(stop.value or {})
+        if event[0] == "done":
+            results[event[1]] = event[2]

@@ -90,7 +90,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.exec import fingerprint as _fingerprint
-from repro.exec import resilience as _resilience
 from repro.exec.cache import ResultCache, _canonical
 from repro.exec.resilience import EnvKnobError
 from repro.sampling.functional import FunctionalState, FunctionalWarmer
@@ -537,6 +536,12 @@ class ShardJobSpec:
     #: memory only, so it cannot flood the store with segments nothing
     #: re-reads.
     disk_memo: bool = False
+    #: Which generation chain this chunk belongs to (the planner's chain
+    #: ordinal).  Purely an execution-plan coordinate: it lets the
+    #: dispatcher express the stitch order ``chain[k-1] -> chain[k]`` as
+    #: an explicit job dependency instead of pool-FIFO luck, and never
+    #: reaches a store key.
+    chain: int = 0
 
 
 def plan_shard_jobs(store: CheckpointStore,
@@ -601,7 +606,8 @@ def plan_shard_jobs(store: CheckpointStore,
     total_jobs = sum(len(bounds) - 1 for bounds, _chain in per_chain)
     jobs: List[ShardJobSpec] = []
     for chunk_index in range(max_chunks):
-        for bounds, (request, identities, write_shared) in per_chain:
+        for chain_id, (bounds, (request, identities, write_shared)) \
+                in enumerate(per_chain):
             if chunk_index >= len(bounds) - 1:
                 continue
             jobs.append(ShardJobSpec(
@@ -613,7 +619,8 @@ def plan_shard_jobs(store: CheckpointStore,
                 last=chunk_index == len(bounds) - 2,
                 boundaries=tuple(bounds[:-1]),
                 directory=directory,
-                disk_memo=total_jobs > 1))
+                disk_memo=total_jobs > 1,
+                chain=chain_id))
     return jobs, {
         "checkpoint_chains": len(chains),
         "checkpoint_shards": max_chunks,
@@ -791,37 +798,40 @@ def execute_generation(store: CheckpointStore,
                        jobs: int = 1) -> Dict[str, int]:
     """Run the generation stage for ``requests``, sharded over ``jobs``.
 
-    Plans the (chunk x policy-group) shard grid, fans it out chunk-major
-    over a process pool (``chunksize=1`` keeps dispatch in plan order, the
-    deadlock-freedom invariant of in-worker boundary waits), then discards
-    the transient boundary handoffs — once stitched they are dead weight,
+    Plans the (chunk x policy-group) shard grid and fans it out through
+    the execution-backend seam (:func:`repro.exec.dispatch.dispatch`),
+    with each chunk's handoff producer expressed as an **explicit job
+    dependency** (``chain[k-1] -> chain[k]``) rather than relying on
+    pool-FIFO dispatch order: the supervised pool dispatch-gates (a
+    consumer may run alongside its producer and compose ahead while
+    waiting in-worker), the local cluster completion-gates (a ticket is
+    spooled only once the handoff is already published), and the serial
+    reference runs the chunk-major plan order — every backend preserves
+    the deadlock-freedom invariant.  A crashed or hung shard job is
+    retried — shard jobs are idempotent folds, and consumers of a retried
+    producer's handoff either keep waiting within their bounded window or
+    walk back and recompute the prefix.  Afterwards the transient
+    boundary handoffs are discarded — once stitched they are dead weight,
     and sweeping them keeps CI-persisted stores lean.  Returns the shard
     counters for the engine's ``last_run_stats``.
     """
-    from repro.exec.engine import fork_pool
+    from repro.exec.backend import DispatchJob, resolve_backend
+    from repro.exec.dispatch import dispatch
 
     shard_jobs, stats = plan_shard_jobs(store, requests, workers=jobs)
-    workers = min(jobs, len(shard_jobs))
-    if workers > 1:
-        if _resilience.supervision_enabled():
-            # Supervised fan-out: chunksize=1 and in-order dispatch keep
-            # the chunk-major plan order (the deadlock-freedom invariant
-            # of in-worker boundary waits); a crashed or hung shard job
-            # is retried — shard jobs are idempotent folds, and consumers
-            # of a retried producer's handoff either keep waiting within
-            # their bounded window or walk back and recompute the prefix.
-            _resilience.run_supervised(
-                run_shard_job, shard_jobs, workers, scope="shard",
-                labels=[f"{job.workload}:chunk{job.chunk_index}"
-                        for job in shard_jobs],
-                chunksize=1)
-        else:
-            with fork_pool(workers) as pool:
-                for _ in pool.imap(run_shard_job, shard_jobs, 1):
-                    pass
-    else:
-        for job in shard_jobs:
-            run_shard_job(job)
+    if shard_jobs:
+        workers = min(jobs, len(shard_jobs))
+        position_of = {(job.chain, job.chunk_index): position
+                       for position, job in enumerate(shard_jobs)}
+        dispatch_jobs = [
+            DispatchJob(
+                index=position, payload=job,
+                label=f"{job.workload}:chunk{job.chunk_index}",
+                deps=((position_of[(job.chain, job.chunk_index - 1)],)
+                      if job.chunk_index > 0 else ()))
+            for position, job in enumerate(shard_jobs)]
+        dispatch(resolve_backend(workers), run_shard_job, dispatch_jobs,
+                 scope="shard", chunksize=1)
     for job in shard_jobs:
         if not job.last:
             store.discard(boundary_key(job.workload, job.settings,
