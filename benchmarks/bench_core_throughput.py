@@ -1,25 +1,38 @@
-"""Benchmark: detailed-path throughput, before vs after the two-plane refactor.
+"""Benchmark: detailed-path throughput across the in-tree core kernels.
 
 Measures serial detailed-simulation throughput (uops/sec, ``idle_skip`` on)
 of one Figure-4 cell — the paper's ``vortex`` workload under the
-``indexed-3-fwd+dly`` configuration — three ways:
+``indexed-3-fwd+dly`` configuration — once per leg:
 
 * **legacy** — the frozen seed stack (``legacy_ref/``: pre-refactor
   ``MicroOp``-object trace composer, attribute-probing core loop, and
   pre-optimisation substrate, all verbatim): the *before* leg, re-measured
   on the same machine at bench time so the recorded ratio is
   hardware-independent;
-* **object path** — the production core's back-compat path driven by
+* **object_microop** — the ``object`` kernel's back-compat path driven by
   materialised :class:`~repro.isa.uop.MicroOp` views;
-* **encoded** — the production static-plane fast path
-  (:class:`~repro.isa.plane.EncodedOps`): the *after* leg and the headline
-  trajectory number.
+* **object** — the ``object`` kernel on the static-plane fast path
+  (:class:`~repro.isa.plane.EncodedOps`);
+* **vector** — the struct-of-arrays fused-loop kernel
+  (:class:`~repro.pipeline.vector.VectorCore`), pure Python;
+* **compiled** — the same fused loop as a native extension, measured only
+  when ``tools/build_kernel.py`` has built it on this machine.
 
-Each leg's uops/sec covers trace materialisation *plus* simulation (the
-detailed path as a user pays for it); all three legs must produce
-bit-identical statistics before any ratio is reported.  The measurements
-land in ``BENCH_core.json`` at the repo root (envelope records
-``cpus_available`` like the other trajectory files).
+Leg names follow the ``REPRO_KERNEL`` kernel names (``kernel_legs`` lists
+the ones measured).  Each leg's uops/sec covers trace materialisation
+*plus* simulation (the detailed path as a user pays for it); every leg
+must produce bit-identical statistics before any ratio is reported.  The
+measurements land in ``BENCH_core.json`` at the repo root.
+
+A note on expectations: the object kernel's stage pipeline was already
+aggressively flattened by earlier optimisation passes, and a large share
+of the remaining runtime is *shared model code* (policies, predictors,
+byte-granular memory image, hierarchy) that every kernel pays
+identically — so the pure-Python vector kernel's win over the object
+kernel is modest; the compiled kernel is where the fused loop's layout
+pays off.  The asserted bars below are therefore: unconditional
+bit-identity, the historical >= 1.5x of the best kernel over the frozen
+seed stack, and no-regression of vector vs the object kernel.
 """
 
 import gc
@@ -37,6 +50,11 @@ from legacy_ref import suites as legacy_suites  # noqa: E402
 from repro.harness.runner import ExperimentSettings, make_policy  # noqa: E402
 from repro.isa.trace import DynamicTrace  # noqa: E402
 from repro.pipeline.core import OutOfOrderCore  # noqa: E402
+from repro.pipeline.vector import (  # noqa: E402
+    CompiledCore,
+    VectorCore,
+    compiled_kernel_available,
+)
 from repro.workloads.suites import build_workload  # noqa: E402
 from repro.workloads import suites  # noqa: E402
 
@@ -58,33 +76,50 @@ def _stats_signature(result):
     return tuple(sorted(result.stats.as_dict().items()))
 
 
-def _timed(leg, repeats=REPEATS):
-    """Median-of-N timing with cross-leg GC isolation.
+def _timed_once(leg):
+    """One timed execution with GC isolation.
 
-    The collector runs normally *inside* each timed region — allocator and
-    collector pressure are part of what the two-plane encoding removes, so
-    quiescing the GC would hide a real component of the win.  What must not
-    leak between legs is heap debris: survivors of earlier legs would make
-    later legs' collections scan ever more memory.  ``gc.freeze()`` parks
-    the pre-leg heap outside the collector for the duration of the region,
-    so every leg pays exactly its own GC cost.
+    The collector runs normally *inside* the timed region — allocator and
+    collector pressure are part of what the encoded plane and the vector
+    layout remove, so quiescing the GC would hide a real component of the
+    win.  What must not leak between legs is heap debris: survivors of
+    earlier legs would make later legs' collections scan ever more memory.
+    ``gc.freeze()`` parks the pre-leg heap outside the collector for the
+    duration of the region, so every leg pays exactly its own GC cost.
     """
-    times = []
-    result = None
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        result = leg()
+        return result, time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+
+
+def _timed_interleaved(legs, repeats=REPEATS):
+    """Median-of-N per leg, with the repetitions *interleaved* across legs.
+
+    Shared machines drift (CI neighbours, thermal throttling): measuring
+    each leg's repetitions back-to-back bakes whatever the machine was
+    doing during *that leg's* window into the recorded ratios.  Round-robin
+    ordering — every leg once per round — spreads drift evenly over all
+    legs, so the per-leg medians move together and the ratios stay stable.
+    Returns ``{name: (last_result, median_seconds)}`` in input order.
+    """
+    times = {name: [] for name, _ in legs}
+    results = {}
     for _ in range(repeats):
-        gc.collect()
-        gc.freeze()
-        try:
-            start = time.perf_counter()
-            result = leg()
-            times.append(time.perf_counter() - start)
-        finally:
-            gc.unfreeze()
-    return result, statistics.median(times)
+        for name, leg in legs:
+            result, seconds = _timed_once(leg)
+            results[name] = result
+            times[name].append(seconds)
+    return {name: (results[name], statistics.median(times[name]))
+            for name, _ in legs}
 
 
 def measure_core_throughput(instructions=CORE_BENCH_INSTRUCTIONS, seed=1):
-    """Measure the three legs; asserts bit-identity, returns the metrics."""
+    """Measure every available leg; asserts bit-identity, returns metrics."""
     settings = ExperimentSettings(instructions=instructions)
     assert settings.core.idle_skip, "bench contract: idle_skip on"
 
@@ -101,68 +136,93 @@ def measure_core_throughput(instructions=CORE_BENCH_INSTRUCTIONS, seed=1):
         return core.run(trace,
                         stats_warmup_fraction=settings.stats_warmup_fraction)
 
-    def object_leg():
-        # Production core's back-compat loop over materialised MicroOp views.
-        suites._SEGMENT_CACHE.clear()
-        encoded = build_workload(WORKLOAD, instructions=instructions, seed=seed)
-        trace = DynamicTrace(name=WORKLOAD, uops=encoded.uops)
-        core = OutOfOrderCore(settings.core,
-                              make_policy(CONFIG, sq_size=settings.sq_size))
-        return core.run(trace,
-                        stats_warmup_fraction=settings.stats_warmup_fraction)
+    def kernel_leg(core_cls, encoded_trace=True):
+        # One production leg: the named kernel class over a freshly
+        # materialised trace (encoded fast path, or MicroOp views for the
+        # object kernel's back-compat leg).
+        def leg():
+            suites._SEGMENT_CACHE.clear()
+            trace = build_workload(WORKLOAD, instructions=instructions,
+                                   seed=seed)
+            if not encoded_trace:
+                trace = DynamicTrace(name=WORKLOAD, uops=trace.uops)
+            core = core_cls(settings.core,
+                            make_policy(CONFIG, sq_size=settings.sq_size))
+            return core.run(
+                trace, stats_warmup_fraction=settings.stats_warmup_fraction)
+        return leg
 
-    def encoded_leg():
-        # After: static-plane fast path, no per-uop objects anywhere.
-        suites._SEGMENT_CACHE.clear()
-        encoded = build_workload(WORKLOAD, instructions=instructions, seed=seed)
-        core = OutOfOrderCore(settings.core,
-                              make_policy(CONFIG, sq_size=settings.sq_size))
-        return core.run(encoded,
-                        stats_warmup_fraction=settings.stats_warmup_fraction)
+    kernel_legs = [
+        ("object_microop", kernel_leg(OutOfOrderCore, encoded_trace=False)),
+        ("object", kernel_leg(OutOfOrderCore)),
+        ("vector", kernel_leg(VectorCore)),
+    ]
+    if compiled_kernel_available():
+        kernel_legs.append(("compiled", kernel_leg(CompiledCore)))
 
-    legacy_result, legacy_s = _timed(legacy_leg)
-    object_result, object_s = _timed(object_leg)
-    encoded_result, encoded_s = _timed(encoded_leg)
-
+    measured = _timed_interleaved([("legacy", legacy_leg)] + kernel_legs)
+    legacy_result, legacy_s = measured["legacy"]
     reference = _stats_signature(legacy_result)
-    assert _stats_signature(encoded_result) == reference, \
-        "two-plane core diverged from the frozen seed stack"
-    assert _stats_signature(object_result) == reference, \
-        "object path diverged from the frozen seed stack"
 
     uops = instructions
-    return {
+    data = {
         "workload": WORKLOAD,
         "config": CONFIG,
         "core_instructions": instructions,
+        "kernel_legs": [name for name, _ in kernel_legs],
+        "compiled_kernel_built": compiled_kernel_available(),
         "legacy_s": round(legacy_s, 3),
-        "object_path_s": round(object_s, 3),
-        "encoded_s": round(encoded_s, 3),
         "legacy_uops_per_sec": round(uops / legacy_s, 1),
-        "object_path_uops_per_sec": round(uops / object_s, 1),
-        "encoded_uops_per_sec": round(uops / encoded_s, 1),
-        "speedup_vs_legacy": round(legacy_s / encoded_s, 3),
-        "speedup_vs_object_path": round(object_s / encoded_s, 3),
     }
+    seconds = {}
+    for name, _ in kernel_legs:
+        result, leg_s = measured[name]
+        assert _stats_signature(result) == reference, \
+            f"{name} kernel diverged from the frozen seed stack"
+        seconds[name] = leg_s
+        data[f"{name}_s"] = round(leg_s, 3)
+        data[f"{name}_uops_per_sec"] = round(uops / leg_s, 1)
+
+    # The headline ratio: the fastest measured kernel vs the frozen seed.
+    best = min(seconds, key=seconds.get)
+    data["best_kernel"] = best
+    data["speedup_vs_legacy"] = round(legacy_s / seconds[best], 3)
+    data["speedup_vs_object_path"] = round(
+        seconds["object_microop"] / seconds[best], 3)
+    data["vector_speedup_vs_object"] = round(
+        seconds["object"] / seconds["vector"], 3)
+    if "compiled" in seconds:
+        data["compiled_speedup_vs_object"] = round(
+            seconds["object"] / seconds["compiled"], 3)
+    return data
 
 
 def assert_core_throughput(data):
-    """The acceptance bar: the two-plane detailed path is >= 1.5x the frozen
-    seed stack on the Figure-4 cell (bit-identity is asserted inside the
-    measurement)."""
+    """The acceptance bars.
+
+    * bit-identity of every leg is asserted inside the measurement;
+    * the best kernel keeps the historical >= 1.5x over the frozen seed
+      stack on the Figure-4 cell;
+    * the vector kernel does not regress materially vs the object kernel
+      (>= 0.9x allows for timing noise on shared machines; in practice it
+      measures at or slightly above parity — the compiled kernel is where
+      the struct-of-arrays layout converts into a large win).
+    """
     assert data["speedup_vs_legacy"] >= 1.5, data
+    assert data["vector_speedup_vs_object"] >= 0.9, data
 
 
 def test_core_throughput():
     data = measure_core_throughput()
     assert_core_throughput(data)
-    path = write_bench_json("core", {"wall_time_s": data["legacy_s"]
-                                     + data["object_path_s"]
-                                     + data["encoded_s"], **data})
-    print(f"\ncore throughput: encoded {data['encoded_uops_per_sec']:,.0f} uops/s, "
+    wall = data["legacy_s"] + sum(
+        data[f"{name}_s"] for name in data["kernel_legs"])
+    path = write_bench_json("core", {"wall_time_s": round(wall, 3), **data})
+    print(f"\ncore throughput: vector {data['vector_uops_per_sec']:,.0f} uops/s, "
+          f"object {data['object_uops_per_sec']:,.0f} uops/s, "
           f"legacy {data['legacy_uops_per_sec']:,.0f} uops/s "
-          f"(x{data['speedup_vs_legacy']} vs pre-refactor seed, "
-          f"x{data['speedup_vs_object_path']} vs object path) -> {path.name}")
+          f"(best kernel {data['best_kernel']}: "
+          f"x{data['speedup_vs_legacy']} vs pre-refactor seed) -> {path.name}")
 
 
 if __name__ == "__main__":

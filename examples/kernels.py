@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Detailed-core kernel tour: one simulator, three interchangeable kernels.
+
+The detailed out-of-order core runs on one of three *kernels* — same
+semantics, different data layout and loop structure:
+
+* ``object`` — the reference implementation: one ``_Inflight`` record
+  object per in-flight uop.
+* ``vector`` — struct-of-arrays dynamic state (array-per-field in-flight
+  slots, generation-token validity) with dispatch/issue/wakeup/commit
+  fused into a single loop. Pure Python, always available, the default.
+* ``compiled`` — the same fused loop compiled to a native extension by
+  ``tools/build_kernel.py`` (Cython or mypyc). Optional; selecting it
+  unbuilt raises ``EnvKnobError`` with the build command.
+
+The kernel is a pure execution choice: every kernel is bit-identical
+(golden-, property-, and bench-enforced), so ``REPRO_KERNEL`` never
+enters a cache or snapshot key. This demo constructs each available
+kernel through the one seam everything uses
+(:func:`repro.pipeline.vector.make_core`), proves the statistics match,
+times them, shows the fallback discipline, and finishes with the
+``REPRO_PROFILE`` satellite: per-job cProfile dumps aggregated into
+``engine.last_run_stats``.
+
+Run with::
+
+    python examples/kernels.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro.exec import ExperimentEngine, JobSpec, job_key
+from repro.harness.runner import ExperimentSettings, make_policy
+from repro.isa.trace import DynamicTrace
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.vector import (
+    VectorCore,
+    compiled_kernel_available,
+    make_core,
+    resolve_kernel,
+)
+from repro.workloads.suites import build_workload
+
+WORKLOAD = "vortex"
+CONFIG = "indexed-3-fwd+dly"
+INSTRUCTIONS = 12_000
+
+
+def main() -> None:
+    kernels = ["object", "vector"]
+    if compiled_kernel_available():
+        kernels.append("compiled")
+
+    print(f"available kernels: {', '.join(kernels)} "
+          f"(auto resolves to {resolve_kernel()!r})")
+
+    print(f"\n1. Same cell on every kernel ({WORKLOAD}/{CONFIG}, "
+          f"{INSTRUCTIONS:,} instructions)...")
+    trace = build_workload(WORKLOAD, instructions=INSTRUCTIONS, seed=1)
+    signatures = {}
+    for kernel in kernels:
+        core = make_core(CoreConfig(), make_policy(CONFIG), kernel)
+        start = time.perf_counter()
+        result = core.run(trace, stats_warmup_fraction=0.25)
+        elapsed = time.perf_counter() - start
+        signatures[kernel] = sorted(result.stats.as_dict().items())
+        print(f"   {kernel:>8}: {INSTRUCTIONS / elapsed:>9,.0f} uops/s  "
+              f"ipc={result.stats.ipc:.4f}  cycles={result.stats.cycles:,}")
+    assert all(sig == signatures["object"] for sig in signatures.values())
+    print("   all kernels produced bit-identical statistics")
+
+    print("\n2. REPRO_KERNEL is execution-only: cache keys ignore it...")
+    spec = JobSpec(WORKLOAD, CONFIG,
+                   ExperimentSettings(instructions=INSTRUCTIONS))
+    keys = set()
+    for kernel in kernels + ["auto"]:
+        os.environ["REPRO_KERNEL"] = kernel
+        keys.add(job_key(spec))
+    os.environ.pop("REPRO_KERNEL", None)
+    keys.add(job_key(spec))
+    assert len(keys) == 1, keys
+    print(f"   one key across all kernels + unset: {keys.pop()[:16]}...")
+
+    print("\n3. Fallback discipline: the vector kernel defers to the "
+          "object loop when it must...")
+    object_trace = DynamicTrace(name=WORKLOAD, uops=trace.uops)
+    core = VectorCore(CoreConfig(), make_policy(CONFIG))
+    via_objects = core.run(object_trace, stats_warmup_fraction=0.25)
+    assert sorted(via_objects.stats.as_dict().items()) == signatures["object"]
+    print("   MicroOp back-compat trace -> object loop, still bit-identical")
+
+    class Instrumented(VectorCore):
+        commits = 0
+
+        def _commit_stage(self):
+            Instrumented.commits += 1
+            return super()._commit_stage()
+
+    Instrumented(CoreConfig(), make_policy(CONFIG)).run(
+        trace, stats_warmup_fraction=0.25)
+    print(f"   overridden stage method -> object call structure "
+          f"({Instrumented.commits:,} commit-stage calls observed)")
+
+    print("\n4. REPRO_PROFILE: per-job cProfile dumps + aggregated "
+          "hotspots...")
+    with tempfile.TemporaryDirectory(prefix="repro-kernels-") as tmp:
+        os.environ["REPRO_PROFILE"] = os.path.join(tmp, "prof")
+        try:
+            engine = ExperimentEngine(jobs=1, cache=False)
+            engine.run([spec])
+        finally:
+            os.environ.pop("REPRO_PROFILE", None)
+        stats = engine.last_run_stats
+        profile = stats["profile"]
+        print(f"   engine ran on kernel={stats['kernel']!r}; "
+              f"{profile['files']} profile dump(s) in {profile['dir']}")
+        for row in profile["top_cumulative"][:5]:
+            print(f"   {row['cumtime_s']:>8.3f}s  {row['calls']:>8,}x  "
+                  f"{row['site']}")
+
+    print("\nKnobs: REPRO_KERNEL (object | vector | compiled | auto; "
+          "auto = compiled when built, else vector), REPRO_PROFILE "
+          "(1 = .repro-profile/, or a directory). Both execution-only: "
+          "never in cache or snapshot keys. Build the compiled kernel "
+          "with `python tools/build_kernel.py` (needs Cython or mypyc).")
+
+
+if __name__ == "__main__":
+    main()

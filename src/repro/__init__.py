@@ -116,5 +116,7 @@ def simulate(trace, policy, config=None):
     -------
     SimulationResult
     """
-    core = OutOfOrderCore(config or CoreConfig(), policy)
+    from repro.pipeline.vector import make_core
+
+    core = make_core(config or CoreConfig(), policy)
     return core.run(trace)

@@ -57,6 +57,19 @@ Environment knobs:
     :mod:`repro.exec.backend`.  Execution-only like every scheduling
     knob: every backend is bit-identical, so neither value enters a
     cache or snapshot key.
+``REPRO_KERNEL``
+    Detailed-core kernel (``object`` / ``vector`` / ``compiled`` /
+    ``auto``; see :mod:`repro.pipeline.vector`).  Execution-only —
+    every kernel is bit-identical, so the knob never enters a cache or
+    snapshot key.  The *effective* kernel is reported as ``kernel`` in
+    :attr:`ExperimentEngine.last_run_stats` on every run.
+``REPRO_PROFILE``
+    Per-worker profiling: ``1`` (default ``.repro-profile/``) or a
+    directory path.  Each engine run that simulates anything gets a
+    run-scoped subdirectory of per-job ``cProfile`` dumps
+    (``job-<pid>-<n>.pstats``), and the aggregated top cumulative
+    hotspots land under ``last_run_stats["profile"]``.  Execution-only:
+    profiling observes, it never changes a simulated statistic.
 
 Every fan-out — this engine's job pass *and* the sharded
 checkpoint-generation stage — runs through one dispatcher seam
@@ -78,6 +91,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exec import resilience as _resilience
@@ -351,10 +365,12 @@ class ExperimentEngine:
             "total": len(specs),
             "cache_hits": hits,
             "simulated": len(pending_indices),
+            "kernel": self._effective_kernel(),
         }
 
         workers = 0
         scheduler_sink: Dict[str, object] = {}
+        profile_dir = self._begin_profile_run(bool(pending_indices))
         try:
             if pending_indices and before_run is not None:
                 before_run([specs[i] for i in pending_indices])
@@ -394,6 +410,9 @@ class ExperimentEngine:
             # have stranded so an aborted run leaks nothing.
             self._sweep_interrupted_tmp()
             raise
+        finally:
+            if profile_dir is not None:
+                os.environ.pop("_REPRO_PROFILE_RUN", None)
 
         for i, record in zip(pending_indices, records):
             results[i] = record
@@ -405,8 +424,90 @@ class ExperimentEngine:
         base_stats.update(self._scheduler_stats(scheduler_sink))
         base_stats.update(self._checkpoint_stats)
         base_stats.update(self._mshr_stats(results))
+        if profile_dir is not None:
+            base_stats["profile"] = self._profile_stats(profile_dir)
         self.last_run_stats = base_stats
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _effective_kernel() -> str:
+        """The detailed-core kernel this run's simulations execute on.
+
+        Resolved once per run from ``REPRO_KERNEL`` (workers inherit the
+        environment, so the serial path, pool workers, and cluster
+        executors all agree).  Imported lazily: the exec layer stays
+        importable without the pipeline package being touched first.
+        """
+        from repro.pipeline.vector import resolve_kernel
+
+        return resolve_kernel()
+
+    # ---------------------------------------------------------------- profiling --
+
+    _profile_seq = 0
+
+    def _begin_profile_run(self, active: bool) -> Optional[str]:
+        """Open a run-scoped profile directory when ``REPRO_PROFILE`` asks.
+
+        Creates ``<root>/run-<stamp>-<pid>-<n>/`` and exports it as
+        ``_REPRO_PROFILE_RUN`` so every :func:`~repro.exec.jobs.run_job`
+        execution — in-process or in a worker spawned after this point —
+        dumps its ``cProfile`` stats there.  Returns ``None`` (and sets
+        nothing) when profiling is off or the run has nothing to
+        simulate.
+        """
+        root = _resilience.resolve_profile_dir()
+        if root is None or not active:
+            return None
+        ExperimentEngine._profile_seq += 1
+        run_dir = os.path.join(
+            root, time.strftime("run-%Y%m%d-%H%M%S")
+            + f"-{os.getpid()}-{ExperimentEngine._profile_seq}")
+        os.makedirs(run_dir, exist_ok=True)
+        os.environ["_REPRO_PROFILE_RUN"] = run_dir
+        return run_dir
+
+    @staticmethod
+    def _profile_stats(profile_dir: str, top: int = 10) -> Dict[str, object]:
+        """Aggregate a run's per-job profile dumps into a hotspot summary.
+
+        Merges every ``*.pstats`` file in the run directory and reports
+        the ``top`` call sites by cumulative time — enough to spot the
+        hotspot without leaving ``last_run_stats``; the raw dumps stay on
+        disk for ``pstats``/``snakeviz``-style digging.  Best-effort: a
+        torn dump (killed worker) degrades to whatever merged cleanly.
+        """
+        import pstats
+
+        files = sorted(
+            os.path.join(profile_dir, name)
+            for name in os.listdir(profile_dir) if name.endswith(".pstats"))
+        summary: Dict[str, object] = {
+            "dir": profile_dir, "files": len(files), "top_cumulative": []}
+        stats = None
+        merged = 0
+        for path in files:
+            try:
+                if stats is None:
+                    stats = pstats.Stats(path)
+                else:
+                    stats.add(path)
+                merged += 1
+            except Exception:  # pragma: no cover - torn dump
+                continue
+        summary["files"] = merged
+        if stats is None:
+            return summary
+        rows = []
+        for (filename, lineno, funcname), entry in stats.stats.items():
+            _cc, ncalls, _tt, cumtime = entry[:4]
+            site = f"{os.path.basename(filename)}:{lineno}({funcname})"
+            rows.append((cumtime, ncalls, site))
+        rows.sort(key=lambda row: (-row[0], row[2]))
+        summary["top_cumulative"] = [
+            {"site": site, "cumtime_s": round(cumtime, 6), "calls": ncalls}
+            for cumtime, ncalls, site in rows[:top]]
+        return summary
 
     def _scheduler_stats(self, sink: Dict[str, object]) -> Dict[str, object]:
         """The dispatcher's observability keys, always present.

@@ -21,6 +21,7 @@ here are simulated.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
@@ -96,8 +97,44 @@ def _trace_for(spec: JobSpec) -> "EncodedOps":
     return trace
 
 
+#: Per-process counter distinguishing successive profile dumps from one
+#: worker (the engine's run directory plus the pid provide the rest of
+#: the namespace).
+_PROFILE_SEQ = 0
+
+
 def run_job(spec) -> "RunRecord":
     """Execute one job spec (plain, sampled, or a single sampling interval).
+
+    When the engine exported ``_REPRO_PROFILE_RUN`` (the ``REPRO_PROFILE``
+    knob), the execution is wrapped in :mod:`cProfile` and the stats are
+    dumped into the run directory as ``job-<pid>-<n>.pstats`` — on the
+    serial path and inside pool workers alike, since both enter here.
+    Profiling observes only; the returned record is bit-identical either
+    way.
+    """
+    profile_dir = os.environ.get("_REPRO_PROFILE_RUN")
+    if not profile_dir:
+        return _run_job(spec)
+
+    import cProfile
+
+    global _PROFILE_SEQ
+    _PROFILE_SEQ += 1
+    path = os.path.join(profile_dir,
+                        f"job-{os.getpid()}-{_PROFILE_SEQ}.pstats")
+    profile = cProfile.Profile()
+    try:
+        return profile.runcall(_run_job, spec)
+    finally:
+        try:
+            profile.dump_stats(path)
+        except OSError:  # pragma: no cover - profile dir raced away
+            pass
+
+
+def _run_job(spec) -> "RunRecord":
+    """The actual job dispatch (see :func:`run_job`).
 
     Imports are deferred so that :mod:`repro.exec` never imports
     :mod:`repro.harness` at module level (the harness imports the engine).

@@ -44,6 +44,10 @@ or snapshot keys, exactly like ``REPRO_JOBS`` / ``REPRO_CHECKPOINT_SHARDS``)::
                           # benchmark as the A/B baseline)
     REPRO_FAULT_PLAN=...  # deterministic fault injection, e.g.
                           # "worker_crash@job:3,corrupt_blob@p=0.1,hang@shard:1"
+    REPRO_KERNEL=...      # detailed-core kernel: object | vector | compiled
+                          # | auto (default; every kernel is bit-identical)
+    REPRO_PROFILE=...     # when set, jobs run under cProfile and dump
+                          # per-worker stats into a run-scoped directory
 
 What is (and is not) retried: **crashes** (a worker process dying) and
 **hangs** (a per-job deadline expiring) are retried — they are machine
@@ -75,6 +79,7 @@ __all__ = [
     "FaultClause",
     "FaultPlan",
     "JobFailure",
+    "KERNEL_NAMES",
     "backoff_delay",
     "count",
     "counters_delta",
@@ -87,6 +92,8 @@ __all__ = [
     "reset_counters",
     "resolve_backend_name",
     "resolve_job_timeout",
+    "resolve_kernel_name",
+    "resolve_profile_dir",
     "resolve_retries",
     "resolve_spool_dir",
     "run_supervised",
@@ -208,6 +215,51 @@ def resolve_spool_dir() -> Optional[str]:
     return raw or None
 
 
+#: The in-tree detailed-core kernels (see :mod:`repro.pipeline.vector`).
+KERNEL_NAMES = ("object", "vector", "compiled")
+
+
+def resolve_kernel_name() -> Optional[str]:
+    """The forced detailed-core kernel (``REPRO_KERNEL``), or ``None``.
+
+    ``None`` means *auto*: the compiled kernel when its extension is built,
+    the pure-Python vector kernel otherwise.  Purely an execution knob —
+    every kernel is bit-identical on every workload (golden- and
+    property-tested) — so it never participates in result-cache or
+    snapshot keys.
+    """
+    raw = os.environ.get("REPRO_KERNEL", "").strip()
+    if not raw or raw == "auto":
+        return None
+    if raw not in KERNEL_NAMES:
+        raise EnvKnobError(
+            f"REPRO_KERNEL must be one of {', '.join(KERNEL_NAMES)}, or "
+            f"auto (got {raw!r}); unset it to let the core choose")
+    return raw
+
+
+def resolve_profile_dir() -> Optional[str]:
+    """Root directory for per-worker profiles (``REPRO_PROFILE``), or ``None``.
+
+    ``None`` (unset, empty, or ``0``) disables profiling.  ``1`` profiles
+    into the default ``.repro-profile/``; any other value is the directory
+    itself.  When enabled, every job runs under :mod:`cProfile`, each
+    worker dumps its stats files into a run-scoped subdirectory, and
+    ``ExperimentEngine.last_run_stats`` reports the top cumulative
+    hotspots — so the next performance PR starts from data, not guesses.
+    """
+    raw = os.environ.get("REPRO_PROFILE", "").strip()
+    if not raw or raw == "0":
+        return None
+    if raw == "1":
+        return ".repro-profile"
+    if os.path.isfile(raw):
+        raise EnvKnobError(
+            f"REPRO_PROFILE must be a directory path (got existing file "
+            f"{raw!r}); use 1 for the default .repro-profile/")
+    return raw
+
+
 def validate_environment() -> Dict[str, Any]:
     """Resolve every execution-affecting ``REPRO_*`` knob, failing fast.
 
@@ -228,6 +280,8 @@ def validate_environment() -> Dict[str, Any]:
         "supervise": supervision_enabled(),
         "backend": resolve_backend_name(),
         "spool_dir": resolve_spool_dir(),
+        "kernel": resolve_kernel_name(),
+        "profile_dir": resolve_profile_dir(),
     }
     resolved["fault_plan"] = current_fault_plan()
     return resolved

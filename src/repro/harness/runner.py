@@ -25,7 +25,8 @@ from repro.lsu.policies import (
     SQPolicy,
 )
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.core import OutOfOrderCore, SimulationResult
+from repro.pipeline.core import SimulationResult
+from repro.pipeline.vector import make_core
 from repro.sampling.plan import SamplingPlan
 from repro.workloads.suites import DEFAULT_INSTRUCTIONS, build_workload
 
@@ -165,7 +166,7 @@ def run_workload(trace, config_name: str,
 
         return run_sampled_trace(trace, config_name, settings, predictors=predictors)
     policy = make_policy(config_name, sq_size=settings.sq_size, predictors=predictors)
-    core = OutOfOrderCore(settings.core, policy)
+    core = make_core(settings.core, policy)
     result = core.run(trace, stats_warmup_fraction=settings.stats_warmup_fraction)
     return RunRecord(workload=trace.name, config_name=config_name, result=result)
 

@@ -73,6 +73,11 @@ ISSUE_CLASS_OF = {
     OpClass.STORE: "store",
 }
 
+#: Positional index of each issue class, in the order the core's per-class
+#: structures (ready heaps, issue budgets) are laid out.  Precomputed per
+#: static instruction so integer-indexed kernels never hash the class name.
+ISSUE_INDEX_OF = {"int": 0, "fp": 1, "branch": 2, "load": 3, "store": 4}
+
 #: A static descriptor: everything about one static instruction.
 Descriptor = Tuple[int, OpClass, Optional[int], Tuple[int, ...], bool, bool]
 
@@ -86,8 +91,8 @@ class StaticProgramPlane:
     """
 
     __slots__ = ("descriptors", "pc", "op_class", "dest", "srcs", "kind",
-                 "issue_class", "latency", "hint_call", "hint_return",
-                 "_intern", "_pc_cache")
+                 "issue_class", "issue_index", "latency", "hint_call",
+                 "hint_return", "_intern", "_pc_cache")
 
     def __init__(self) -> None:
         self.descriptors: List[Descriptor] = []
@@ -97,6 +102,7 @@ class StaticProgramPlane:
         self.srcs: List[Tuple[int, ...]] = []
         self.kind: List[int] = []
         self.issue_class: List[str] = []
+        self.issue_index: List[int] = []
         self.latency: List[int] = []
         self.hint_call: List[bool] = []
         self.hint_return: List[bool] = []
@@ -128,7 +134,9 @@ class StaticProgramPlane:
             self.dest.append(dest)
             self.srcs.append(srcs)
             self.kind.append(_KIND_OF.get(op_class, KIND_OTHER))
-            self.issue_class.append(ISSUE_CLASS_OF[op_class])
+            issue_class = ISSUE_CLASS_OF[op_class]
+            self.issue_class.append(issue_class)
+            self.issue_index.append(ISSUE_INDEX_OF[issue_class])
             self.latency.append(DEFAULT_LATENCIES[op_class])
             self.hint_call.append(hint_call)
             self.hint_return.append(hint_return)
@@ -154,6 +162,18 @@ class StaticProgramPlane:
         self._pc_cache[pc] = (index, op_class, dest, srcs, hint_call,
                               hint_return)
         return index
+
+    def dispatch_arrays(self) -> Tuple[List, ...]:
+        """The static dispatch metadata as one tuple of parallel arrays.
+
+        ``(kind, pc, dest, srcs, issue_index, latency, hint_call,
+        hint_return)`` — everything a per-uop kernel hoists before its run
+        loop, batched so the hoist is a single call and every kernel (the
+        object path's dispatch closure, the vector kernel) reads the same
+        arrays in the same order.
+        """
+        return (self.kind, self.pc, self.dest, self.srcs, self.issue_index,
+                self.latency, self.hint_call, self.hint_return)
 
     @classmethod
     def from_descriptors(cls, descriptors: Sequence[Descriptor]
@@ -245,6 +265,16 @@ class EncodedOps:
         named.taken = self.taken
         named.target = self.target
         return named
+
+    def dynamic_arrays(self) -> Tuple[List, ...]:
+        """The per-uop dynamic fields as one tuple of parallel arrays.
+
+        ``(sidx, addr, size, value, taken, target)`` — the batch-accessor
+        counterpart of :meth:`StaticProgramPlane.dispatch_arrays` for the
+        dynamic plane.
+        """
+        return (self.sidx, self.addr, self.size, self.value, self.taken,
+                self.target)
 
     # ------------------------------------------------------------- sequence --
 
@@ -407,6 +437,6 @@ def as_encoded(trace, name: Optional[str] = None) -> EncodedOps:
 
 __all__ = [
     "KIND_OTHER", "KIND_BRANCH", "KIND_LOAD", "KIND_STORE",
-    "ISSUE_CLASS_OF", "StaticProgramPlane", "EncodedOps", "encode_uops",
-    "as_encoded", "MAX_ACCESS_SIZE", "VALID_ACCESS_SIZES",
+    "ISSUE_CLASS_OF", "ISSUE_INDEX_OF", "StaticProgramPlane", "EncodedOps",
+    "encode_uops", "as_encoded", "MAX_ACCESS_SIZE", "VALID_ACCESS_SIZES",
 ]

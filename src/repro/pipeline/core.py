@@ -179,6 +179,11 @@ class OutOfOrderCore:
     #: Abort if no instruction commits for this many consecutive cycles.
     DEADLOCK_LIMIT = 50_000
 
+    #: Which detailed-core kernel this class implements (reported through
+    #: ``ExperimentEngine.last_run_stats`` and the BENCH envelopes).  The
+    #: vector / compiled kernels (:mod:`repro.pipeline.vector`) override it.
+    kernel_name = "object"
+
     def __init__(self, config: CoreConfig, policy: SQPolicy) -> None:
         self.config = config
         self.policy = policy
@@ -1019,20 +1024,11 @@ class OutOfOrderCore:
         """
         encoded = self._encoded
         plane = encoded.plane
-        sidx = encoded.sidx
-        kind_arr = plane.kind
-        pc_arr = plane.pc
-        dest_arr = plane.dest
-        srcs_arr = plane.srcs
+        (kind_arr, pc_arr, dest_arr, srcs_arr, _issue_index_arr, latency_arr,
+         hint_call_arr, hint_return_arr) = plane.dispatch_arrays()
         issue_arr = plane.issue_class
-        latency_arr = plane.latency
-        hint_call_arr = plane.hint_call
-        hint_return_arr = plane.hint_return
-        addr_arr = encoded.addr
-        size_arr = encoded.size
-        value_arr = encoded.value
-        taken_arr = encoded.taken
-        target_arr = encoded.target
+        (sidx, addr_arr, size_arr, value_arr, taken_arr,
+         target_arr) = encoded.dynamic_arrays()
         total = self._total
         config = self.config
         rename_width = config.rename_width

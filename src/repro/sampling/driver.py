@@ -31,7 +31,7 @@ from repro.exec.jobs import IntervalJobSpec, JobSpec
 from repro.isa.plane import EncodedOps
 from repro.isa.trace import DynamicTrace
 from repro.isa.uop import MicroOp
-from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.vector import make_core
 from repro.sampling.functional import FunctionalWarmer
 from repro.sampling.plan import IntervalWindow
 from repro.sampling.result import (
@@ -96,12 +96,12 @@ def _simulate_window(uops: Sequence[MicroOp], window: IntervalWindow,
 
     config = settings.core
     if state is not None:
-        core = OutOfOrderCore(config, state.policy)
+        core = make_core(config, state.policy)
         core.import_state(state)
     else:
-        core = OutOfOrderCore(config, make_policy(config_name,
-                                                  sq_size=settings.sq_size,
-                                                  predictors=predictors))
+        core = make_core(config, make_policy(config_name,
+                                              sq_size=settings.sq_size,
+                                              predictors=predictors))
     if isinstance(uops, EncodedOps):
         trace = uops.with_name(workload)
     else:

@@ -11,6 +11,12 @@ The same runs are additionally executed through the back-compat *object
 path* (materialised :class:`~repro.isa.uop.MicroOp` views), which must stay
 bit-identical to the encoded fast path.
 
+The full-detail and bounded-sampled goldens are further parametrised over
+the detailed-core kernels (``REPRO_KERNEL``: the per-record ``object``
+loop, the struct-of-arrays ``vector`` loop, and — when
+``tools/build_kernel.py`` has built it — the native ``compiled`` loop):
+every kernel must reproduce the frozen counters bit for bit.
+
 Regenerate the goldens ONLY for intentional trace-content or
 simulator-semantics changes: ``python tests/golden/generate_goldens.py``
 (see that file's docstring).
@@ -24,12 +30,17 @@ import pytest
 
 from repro.harness.runner import ExperimentSettings, run_workload
 from repro.isa.trace import DynamicTrace
+from repro.pipeline.vector import compiled_kernel_available
 from repro.sampling.driver import run_sampled_workload
 from repro.sampling.plan import SamplingPlan
 from repro.workloads.suites import build_workload
 
 GOLDEN_PATH = (Path(__file__).resolve().parent.parent
                / "golden" / "hotpath_golden.json")
+
+#: Every kernel buildable in this environment must hit the same goldens.
+KERNELS = ("object", "vector") + (
+    ("compiled",) if compiled_kernel_available() else ())
 
 FULL_DETAIL_WORKLOADS = ("vortex", "mesa.m")
 FULL_DETAIL_CONFIGS = ("oracle-associative-3", "associative-5-predictive",
@@ -56,8 +67,11 @@ def _stats_dict(stats) -> dict:
 
 
 class TestFullDetailGoldens:
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("workload", FULL_DETAIL_WORKLOADS)
-    def test_encoded_path_matches_frozen_counters(self, golden, workload):
+    def test_encoded_path_matches_frozen_counters(self, golden, workload,
+                                                  kernel, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", kernel)
         settings = ExperimentSettings(instructions=FULL_DETAIL_INSTRUCTIONS)
         trace = build_workload(workload,
                                instructions=FULL_DETAIL_INSTRUCTIONS, seed=1)
@@ -80,8 +94,11 @@ class TestFullDetailGoldens:
 
 
 class TestSampledGoldens:
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("config", SAMPLED_CONFIGS)
-    def test_bounded_sampled_run_matches_frozen_counters(self, golden, config):
+    def test_bounded_sampled_run_matches_frozen_counters(self, golden, config,
+                                                         kernel, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", kernel)
         settings = ExperimentSettings(instructions=SAMPLED_INSTRUCTIONS,
                                       sampling=_plan(), checkpoints=False)
         record = run_sampled_workload(SAMPLED_WORKLOAD, config, settings)

@@ -1,0 +1,269 @@
+"""Unit tests for the detailed-core kernel seam (``REPRO_KERNEL``).
+
+Knob resolution and validation, the :func:`~repro.pipeline.vector.make_core`
+construction seam, the vector kernel's fallback discipline (non-encoded
+traces, overridden stage methods), the compiled kernel's missing-extension
+error, cache-key exclusion, engine reporting (``kernel`` in
+``last_run_stats``), and the ``REPRO_PROFILE`` satellite (knob validation,
+run-scoped dumps, hotspot aggregation).
+"""
+
+import os
+
+import pytest
+
+from repro.exec import ExperimentEngine, JobSpec, job_key
+from repro.exec.jobs import run_job
+from repro.exec.resilience import (
+    KERNEL_NAMES,
+    EnvKnobError,
+    resolve_kernel_name,
+    resolve_profile_dir,
+    validate_environment,
+)
+from repro.harness.runner import ExperimentSettings, make_policy, run_workload
+from repro.isa.trace import DynamicTrace
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import OutOfOrderCore
+from repro.pipeline.vector import (
+    CompiledCore,
+    VectorCore,
+    compiled_kernel_available,
+    make_core,
+    resolve_kernel,
+)
+from repro.workloads.suites import build_workload
+
+FAST = ExperimentSettings(instructions=800, stats_warmup_fraction=0.1)
+
+
+def _stats_dict(result):
+    return dict(sorted(result.stats.as_dict().items()))
+
+
+class TestResolution:
+    def test_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel_name() is None
+        expected = "compiled" if compiled_kernel_available() else "vector"
+        assert resolve_kernel() == expected
+        assert resolve_kernel("auto") == expected
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_forced_kernel_wins(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_KERNEL", name)
+        assert resolve_kernel_name() == name
+        assert resolve_kernel() == name
+
+    def test_argument_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "object")
+        assert resolve_kernel("vector") == "vector"
+
+    @pytest.mark.parametrize("bad", ["fast", "Object", "numpy", "2"])
+    def test_garbage_is_an_env_knob_error(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_KERNEL", bad)
+        with pytest.raises(EnvKnobError, match="REPRO_KERNEL"):
+            resolve_kernel_name()
+        with pytest.raises(EnvKnobError):
+            validate_environment()
+        with pytest.raises(EnvKnobError):
+            ExperimentEngine(jobs=1, cache=False)
+
+    def test_kernel_knob_excluded_from_cache_key(self, monkeypatch):
+        """REPRO_KERNEL is execution-only: every kernel is bit-identical,
+        so a forced kernel must not invalidate (or fork) any cached
+        result."""
+        spec = JobSpec("gzip", "indexed-3-fwd", FAST)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        unset = job_key(spec)
+        for name in KERNEL_NAMES + ("auto",):
+            monkeypatch.setenv("REPRO_KERNEL", name)
+            assert job_key(spec) == unset
+
+
+class TestMakeCore:
+    def test_kernel_classes_and_names(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        config = CoreConfig()
+
+        def policy():
+            return make_policy("indexed-3-fwd+dly")
+
+        assert type(make_core(config, policy(), "object")) is OutOfOrderCore
+        assert type(make_core(config, policy(), "vector")) is VectorCore
+        assert OutOfOrderCore.kernel_name == "object"
+        assert VectorCore.kernel_name == "vector"
+        assert CompiledCore.kernel_name == "compiled"
+        auto = make_core(config, policy())
+        assert isinstance(auto, VectorCore)
+
+    def test_environment_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "object")
+        core = make_core(CoreConfig(), make_policy("indexed-3-fwd+dly"))
+        assert type(core) is OutOfOrderCore
+
+    @pytest.mark.skipif(compiled_kernel_available(),
+                        reason="compiled kernel is built here")
+    def test_compiled_without_extension_is_an_env_knob_error(self):
+        with pytest.raises(EnvKnobError, match="build_kernel"):
+            make_core(CoreConfig(), make_policy("indexed-3-fwd+dly"),
+                      "compiled")
+
+
+class TestVectorFallback:
+    def test_object_trace_falls_back_to_object_loop(self):
+        """The MicroOp back-compat path runs the object kernel's loop —
+        and stays bit-identical to the encoded fast path."""
+        encoded = build_workload("gzip", instructions=FAST.instructions,
+                                 seed=1)
+        object_trace = DynamicTrace(name="gzip", uops=encoded.uops)
+        vec = VectorCore(CoreConfig(), make_policy("indexed-3-fwd+dly"))
+        via_objects = vec.run(
+            object_trace, stats_warmup_fraction=FAST.stats_warmup_fraction)
+        ref = VectorCore(CoreConfig(), make_policy("indexed-3-fwd+dly")).run(
+            encoded, stats_warmup_fraction=FAST.stats_warmup_fraction)
+        assert _stats_dict(via_objects) == _stats_dict(ref)
+
+    def test_overridden_stage_method_falls_back(self):
+        """A subclass customising an inlined stage must get the object
+        kernel's call structure (the override must actually run)."""
+        calls = []
+
+        class Instrumented(VectorCore):
+            def _commit_stage(self):
+                calls.append(self._cycle)
+                return super()._commit_stage()
+
+        assert not Instrumented._stock_loop()
+        encoded = build_workload("gzip", instructions=FAST.instructions,
+                                 seed=1)
+        result = Instrumented(CoreConfig(), make_policy("indexed-3-fwd+dly")) \
+            .run(encoded, stats_warmup_fraction=FAST.stats_warmup_fraction)
+        assert calls, "overridden stage never ran"
+        ref = OutOfOrderCore(CoreConfig(), make_policy("indexed-3-fwd+dly")) \
+            .run(encoded, stats_warmup_fraction=FAST.stats_warmup_fraction)
+        assert _stats_dict(result) == _stats_dict(ref)
+
+    def test_stock_subclass_uses_fused_loop(self):
+        class Stock(VectorCore):
+            pass
+
+        assert Stock._stock_loop()
+
+
+class TestEngineReporting:
+    def test_last_run_stats_reports_effective_kernel(self, monkeypatch,
+                                                     tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        specs = [JobSpec("gzip", "indexed-3-fwd", FAST)]
+        for name in ("object", "vector"):
+            monkeypatch.setenv("REPRO_KERNEL", name)
+            engine = ExperimentEngine(jobs=1, cache=False)
+            engine.run(specs)
+            assert engine.last_run_stats["kernel"] == name
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        engine = ExperimentEngine(jobs=1, cache=False)
+        engine.run(specs)
+        assert engine.last_run_stats["kernel"] == resolve_kernel()
+
+    def test_forced_kernels_produce_identical_records(self, monkeypatch):
+        results = {}
+        for name in ("object", "vector"):
+            monkeypatch.setenv("REPRO_KERNEL", name)
+            engine = ExperimentEngine(jobs=1, cache=False)
+            record, = engine.run([JobSpec("vortex", "indexed-3-fwd+dly",
+                                          FAST)])
+            results[name] = _stats_dict(record.result)
+        assert results["object"] == results["vector"]
+
+    def test_serial_parallel_cached_equivalent_under_vector(self, monkeypatch,
+                                                            tmp_path):
+        """The engine-equivalence contract, explicitly pinned to the
+        vector kernel: serial, parallel, and cache-served runs are
+        bit-identical."""
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        specs = [JobSpec("gzip", "indexed-3-fwd", FAST),
+                 JobSpec("gzip", "associative-3", FAST)]
+        serial = ExperimentEngine(jobs=1, cache=False).run(specs)
+        parallel = ExperimentEngine(jobs=2, cache=False).run(specs)
+        caching = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        first = caching.run(specs)
+        cached = caching.run(specs)
+        assert caching.last_run_stats["cache_hits"] == len(specs)
+        for a, b, c, d in zip(serial, parallel, first, cached):
+            want = _stats_dict(a.result)
+            assert _stats_dict(b.result) == want
+            assert _stats_dict(c.result) == want
+            assert _stats_dict(d.result) == want
+
+
+class TestProfileKnob:
+    def test_unset_zero_and_empty_disable(self, monkeypatch):
+        for raw in (None, "", "0"):
+            if raw is None:
+                monkeypatch.delenv("REPRO_PROFILE", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_PROFILE", raw)
+            assert resolve_profile_dir() is None
+
+    def test_one_means_default_directory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert resolve_profile_dir() == ".repro-profile"
+
+    def test_path_is_the_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE", str(tmp_path / "prof"))
+        assert resolve_profile_dir() == str(tmp_path / "prof")
+
+    def test_existing_file_is_an_env_knob_error(self, monkeypatch, tmp_path):
+        clash = tmp_path / "not-a-dir"
+        clash.write_text("x")
+        monkeypatch.setenv("REPRO_PROFILE", str(clash))
+        with pytest.raises(EnvKnobError, match="REPRO_PROFILE"):
+            resolve_profile_dir()
+        with pytest.raises(EnvKnobError):
+            ExperimentEngine(jobs=1, cache=False)
+
+    def test_profiled_run_dumps_and_aggregates(self, monkeypatch, tmp_path):
+        root = tmp_path / "prof"
+        monkeypatch.setenv("REPRO_PROFILE", str(root))
+        engine = ExperimentEngine(jobs=1, cache=False)
+        specs = [JobSpec("gzip", "indexed-3-fwd", FAST),
+                 JobSpec("gzip", "associative-3", FAST)]
+        records = engine.run(specs)
+        assert len(records) == len(specs)
+        profile = engine.last_run_stats["profile"]
+        assert profile["files"] == len(specs)
+        assert os.path.isdir(profile["dir"])
+        dumps = [name for name in os.listdir(profile["dir"])
+                 if name.endswith(".pstats")]
+        assert len(dumps) == len(specs)
+        top = profile["top_cumulative"]
+        assert top and {"site", "cumtime_s", "calls"} <= set(top[0])
+        # The run-scoped env handoff never leaks past the run.
+        assert "_REPRO_PROFILE_RUN" not in os.environ
+
+    def test_profiling_changes_no_statistic(self, monkeypatch, tmp_path):
+        trace = build_workload("gzip", instructions=FAST.instructions, seed=1)
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        plain = run_workload(trace, "indexed-3-fwd", FAST)
+        monkeypatch.setenv("REPRO_PROFILE", str(tmp_path / "prof"))
+        engine = ExperimentEngine(jobs=1, cache=False)
+        profiled, = engine.run([JobSpec("gzip", "indexed-3-fwd", FAST)])
+        assert _stats_dict(profiled.result) == _stats_dict(plain.result)
+
+    def test_all_runs_unprofiled_without_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        monkeypatch.delenv("_REPRO_PROFILE_RUN", raising=False)
+        engine = ExperimentEngine(jobs=1, cache=False)
+        engine.run([JobSpec("gzip", "indexed-3-fwd", FAST)])
+        assert "profile" not in engine.last_run_stats
+
+    def test_run_job_respects_run_dir_handoff(self, monkeypatch, tmp_path):
+        """Workers see only the private ``_REPRO_PROFILE_RUN`` handoff (the
+        engine owns run-dir creation); a bare ``run_job`` call dumps there."""
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        monkeypatch.setenv("_REPRO_PROFILE_RUN", str(run_dir))
+        run_job(JobSpec("gzip", "indexed-3-fwd", FAST))
+        dumps = list(run_dir.glob("job-*.pstats"))
+        assert len(dumps) == 1
